@@ -1,0 +1,12 @@
+"""Runs the design-choice ablations (reproduction extension)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_ablations(benchmark, quick):
+    report = run_and_print(benchmark, "ablations", quick)
+    # θ = 0–1 starves the aggregation of smoothed-out power; θ = 5 works.
+    tight = report.data["theta:1"]
+    paper = report.data["theta:5"]
+    assert paper.n > 0
+    assert paper.not_present <= tight.not_present

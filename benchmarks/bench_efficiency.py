@@ -1,0 +1,11 @@
+"""Regenerates §VI-D: latency ≈ 3 s, energy ≈ 0.6 % of battery per 100."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_efficiency(benchmark, quick):
+    report = run_and_print(benchmark, "efficiency", quick)
+    assert 2.0 < report.data["mean_elapsed_s"] < 4.5
+    assert 0.3 < report.data["battery_percent_per_100"] < 1.2
+    plan = report.data["pickup_plan"]
+    assert plan["latency_hidden_s"] > 0.0

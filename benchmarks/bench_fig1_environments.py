@@ -1,0 +1,14 @@
+"""Regenerates Figure 1(a–d): ranging errors in four environments."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig1_environments(benchmark, quick):
+    report = run_and_print(benchmark, "fig1", quick)
+    # Shape assertions: every environment completes at the measured
+    # distances and stays within the paper's error-bar envelope (≤ ~35 cm).
+    for env in ("office", "home", "street", "restaurant"):
+        for distance in (0.5, 1.0, 1.5, 2.0):
+            stats = report.data[f"{env}:{distance}"]
+            assert stats.n > 0, f"{env}@{distance}: no completed trials"
+            assert stats.mean_abs_cm() < 35.0

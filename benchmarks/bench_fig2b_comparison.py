@@ -1,0 +1,16 @@
+"""Regenerates Figure 2(b): ACTION vs ACTION-CC vs Echo-Secure."""
+
+import math
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig2b_comparison(benchmark, quick):
+    report = run_and_print(benchmark, "fig2b", quick)
+    # The paper's headline: ACTION is orders of magnitude more accurate.
+    action = [report.data[f"action:{d}"] for d in (0.5, 1.0, 1.5, 2.0)]
+    echo = [report.data[f"echo_secure:{d}"] for d in (0.5, 1.0, 1.5, 2.0)]
+    assert max(a for a in action if not math.isnan(a)) < 50.0
+    finite_echo = [e for e in echo if not math.isnan(e)]
+    assert finite_echo, "Echo-Secure produced no distance estimates"
+    assert max(finite_echo) > 200.0  # meters of error, in cm

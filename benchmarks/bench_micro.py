@@ -1,0 +1,53 @@
+"""Micro-benchmarks: per-component costs behind the §VI-D latency model."""
+
+import numpy as np
+
+from repro.core.action import ActionRanging
+from repro.core.config import ProtocolConfig
+from repro.core.detection import FrequencyDetector
+from repro.core.signal_construction import construct_reference_signal, signal_from_indices
+
+
+def test_signal_construction_speed(benchmark):
+    config = ProtocolConfig()
+    rng = np.random.default_rng(0)
+    benchmark(lambda: construct_reference_signal(config, rng))
+
+
+def test_detector_full_scan_speed(benchmark):
+    """One full two-signal scan over a 1.6 s recording — the CPU cost that
+    dominates the modeled phone-side latency."""
+    config = ProtocolConfig()
+    action = ActionRanging(config)
+    own = signal_from_indices([1, 6, 11, 16], config)
+    remote = signal_from_indices([3, 8, 13], config)
+    rng = np.random.default_rng(1)
+    recording = rng.normal(0, 30, size=70_560)
+    recording[9_000:13_096] += own.samples
+    recording[45_000:49_096] += 0.4 * remote.samples
+    result = benchmark(
+        lambda: action.observe(recording, own, remote, config.sample_rate)
+    )
+    assert result.complete
+
+
+def test_candidate_power_batch_speed(benchmark):
+    config = ProtocolConfig()
+    detector = FrequencyDetector(config)
+    rng = np.random.default_rng(2)
+    recording = rng.normal(0, 30, size=70_560)
+    starts = np.arange(0, 66_000, 1000)
+    benchmark(lambda: detector.candidate_powers(recording, starts))
+
+
+def test_end_to_end_session_speed(benchmark):
+    """A complete simulated ranging round (world build excluded)."""
+    from tests.conftest import make_pair_world
+
+    world = make_pair_world(environment="office", seed=3)
+
+    def run_round():
+        return world.range_once("auth", "vouch")
+
+    outcome = benchmark.pedantic(run_round, rounds=3, iterations=1)
+    assert outcome is not None

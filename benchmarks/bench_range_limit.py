@@ -1,0 +1,11 @@
+"""Regenerates §VI-B's maximum-range observation: d_s ≈ 2.5 m."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_range_limit(benchmark, quick):
+    report = run_and_print(benchmark, "range_limit", quick)
+    assert report.data["d_s"] is not None
+    assert 2.0 <= report.data["d_s"] <= 3.0  # paper: around 2.5 m
+    assert report.data["not_present_rate:1.5"] < 0.5
+    assert report.data["not_present_rate:3.5"] >= 0.5

@@ -1,0 +1,12 @@
+"""Regenerates §V/§VI-E: all spoofing-attack trials are denied."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_security_attacks(benchmark, quick):
+    report = run_and_print(benchmark, "security", quick)
+    for attack in ("zero-effort", "guessing-replay", "all-frequency-spoof"):
+        denied, trials = report.data[f"denied:{attack}"]
+        assert denied == trials, f"{attack}: {trials - denied} grants"
+    assert report.data["analytic:exact"] < 1e-15
+    assert report.data["analytic:paper"] < 1e-8

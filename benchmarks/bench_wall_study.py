@@ -1,0 +1,15 @@
+"""Regenerates §VI-B's wall experiment: wall-separated devices are denied."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_wall_study(benchmark, quick):
+    report = run_and_print(benchmark, "wall", quick)
+    label_open = "open space"
+    label_wall = "interior wall between devices"
+    assert report.data[f"grants:{label_open}"] == report.data[f"trials:{label_open}"]
+    assert report.data[f"grants:{label_wall}"] == 0
+    assert (
+        report.data[f"not_present:{label_wall}"]
+        == report.data[f"trials:{label_wall}"]
+    )

@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Each paper artifact gets one benchmark that runs its experiment once
+(``pedantic(rounds=1)``) and prints the paper-vs-measured report, so
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure
+and reports how long each takes.  ``--quick`` trial counts keep the whole
+suite in the minutes range; pass ``--paper-trials`` for the full counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-trials",
+        action="store_true",
+        default=False,
+        help="run experiments at the paper's full trial counts",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """Whether to run experiments in reduced-trial quick mode."""
+    return not request.config.getoption("--paper-trials")
+
+
+def run_and_print(benchmark, name: str, quick: bool, trials=None):
+    """Run a registered experiment under the benchmark timer, print it."""
+    from repro.eval.registry import run_experiment
+
+    report = benchmark.pedantic(
+        lambda: run_experiment(name, trials=trials, seed=0, quick=quick),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.to_text())
+    return report

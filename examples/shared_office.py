@@ -1,0 +1,47 @@
+"""Shared office: three colleagues run PIANO concurrently (Fig. 2a).
+
+Each colleague's device pair plays its own randomized reference signals.
+Because every pair samples its own random frequency subsets, the
+detector's β sanity check treats foreign signals as interference: most
+sessions complete with slightly larger error, and the occasional deep
+overlap aborts with ⊥ (the paper saw 3 aborts in 40 trials) — which an
+application simply retries.
+"""
+
+import numpy as np
+
+from repro import AcousticWorld, Point
+from repro.eval.trials import concurrent_users_interference
+
+
+def main() -> None:
+    trials = 12
+    true_distance = 1.0
+    errors = []
+    aborts = 0
+    for trial in range(trials):
+        world = AcousticWorld(environment="office", seed=900 + trial)
+        world.add_device("my-phone", Point(0.0, 0.0))
+        world.add_device("my-watch", Point(true_distance, 0.0))
+        world.pair("my-phone", "my-watch")
+
+        providers = concurrent_users_interference(n_other_pairs=2)(
+            world, world.rngs.generator("colleagues")
+        )
+        outcome = world.range_once("my-phone", "my-watch", providers)
+        if outcome.ok:
+            errors.append(abs(outcome.require_distance() - true_distance))
+        else:
+            aborts += 1
+
+    print(f"three concurrent users, true distance {true_distance} m:")
+    print(
+        f"  completed {len(errors)}/{trials} sessions, "
+        f"mean |error| {100 * np.mean(errors):.1f} cm"
+    )
+    print(f"  aborted with ⊥ (retry in practice): {aborts}/{trials}")
+    print("  (paper: 3/40 aborts; errors slightly above single-user office)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Smart-home scenario: walls, walk-aways, and threshold personalization.
+
+The paper's motivating deployment: a user's smartwatch vouches for a
+voice-powered home assistant.  This example walks through four moments of
+a day at home:
+
+1. the user asks the assistant for their schedule from the couch (grant);
+2. the user steps into the next room — a wall now separates the devices,
+   the reference signals do not cross it, and access is denied even
+   though the straight-line distance is short (§VI-B);
+3. the user leaves for a walk — Bluetooth goes out of range, deny;
+4. a cautious user tightens the threshold to 0.5 m (personalization, §I)
+   and the couch position is now too far.
+"""
+
+from repro import AcousticWorld, AuthConfig, DenyReason, Point, Room
+
+
+def main() -> None:
+    # Living room with a wall at x = 1.5 m separating the kitchen.
+    world = AcousticWorld(
+        environment="home",
+        room=Room.with_dividing_wall(x=1.5),
+        seed=42,
+    )
+    world.add_device("assistant", Point(0.0, 0.0))
+    world.add_device("watch", Point(0.9, 0.0))
+    world.pair("assistant", "watch")
+    relaxed = AuthConfig(threshold_m=1.0)
+
+    print("1) user on the couch, 0.9 m away:")
+    print("  ", world.authenticate("assistant", "watch", relaxed))
+
+    print("2) user in the kitchen, 1.1 m away but behind the wall:")
+    world.move_device("watch", Point(2.0, 0.0))  # crosses the x=1.5 wall
+    result = world.authenticate("assistant", "watch", relaxed)
+    print("  ", result)
+    assert result.reason in (
+        DenyReason.SIGNAL_NOT_PRESENT,
+        DenyReason.DISTANCE_EXCEEDS_THRESHOLD,
+    )
+
+    print("3) user out for a walk, 25 m away (Bluetooth out of range):")
+    world.move_device("watch", Point(25.0, 0.0))
+    result = world.authenticate("assistant", "watch", relaxed)
+    print("  ", result)
+    assert result.reason is DenyReason.OUT_OF_BLUETOOTH_RANGE
+
+    print("4) cautious user: threshold tightened to 0.5 m, couch at 0.9 m:")
+    world.move_device("watch", Point(0.9, 0.0))
+    strict = AuthConfig(threshold_m=0.5)
+    result = world.authenticate("assistant", "watch", strict)
+    print("  ", result)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Web authentication via proximity — the paper's §VII future-work item.
+
+"Interesting directions for future work include adapting PIANO to other
+application scenarios, e.g., web authentication."
+
+Sketch: a laptop acts as the authenticating device for a web login; the
+user's phone vouches.  The web backend issues a short-lived session token
+only when PIANO grants — a second factor with zero user interaction.  The
+flow also demonstrates re-authentication on demand (the site re-checks
+proximity before a sensitive action) and automatic rejection once the
+user walks off with their phone.
+"""
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro import AcousticWorld, AuthConfig, AuthResult, Point
+
+
+@dataclass
+class WebSessionBackend:
+    """A toy web backend gating session tokens on PIANO decisions."""
+
+    world: AcousticWorld
+    auth_config: AuthConfig
+    sessions: dict[str, str] = field(default_factory=dict)
+
+    def login(self, username: str) -> tuple[str | None, AuthResult]:
+        """Issue a session token iff the user's phone vouches."""
+        result = self.world.authenticate("laptop", "phone", self.auth_config)
+        if not result.granted:
+            return None, result
+        token = secrets.token_hex(16)
+        self.sessions[token] = username
+        return token, result
+
+    def step_up(self, token: str) -> tuple[bool, AuthResult]:
+        """Re-check proximity before a sensitive action (e.g., payment)."""
+        if token not in self.sessions:
+            raise KeyError("unknown session")
+        result = self.world.authenticate("laptop", "phone", self.auth_config)
+        if not result.granted:
+            del self.sessions[token]  # revoke on failed step-up
+        return result.granted, result
+
+
+def main() -> None:
+    world = AcousticWorld(environment="office", seed=2024)
+    world.add_device("laptop", Point(0.0, 0.0))
+    world.add_device("phone", Point(0.5, 0.0))
+    world.pair("laptop", "phone")  # one-time enrollment
+    backend = WebSessionBackend(world, AuthConfig(threshold_m=1.0))
+
+    token, result = backend.login("alice")
+    print(f"login:   {result}")
+    print(f"token:   {token}")
+
+    ok, result = backend.step_up(token)
+    print(f"step-up: {result} -> {'allowed' if ok else 'blocked'}")
+
+    # Alice takes her phone to a meeting; an attacker sits at her desk.
+    world.move_device("phone", Point(8.0, 0.0))
+    ok, result = backend.step_up(token)
+    print(f"attacker step-up: {result} -> {'allowed' if ok else 'blocked'}")
+    print(f"session revoked: {token not in backend.sessions}")
+
+
+if __name__ == "__main__":
+    main()

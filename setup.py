@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments whose setuptools/pip lack PEP 660
+support (``pip install -e .`` falls back to the legacy develop path).
+"""
+
+from setuptools import setup
+
+setup()

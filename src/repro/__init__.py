@@ -1,0 +1,103 @@
+"""repro — a full reproduction of PIANO (Gong et al., ICDCS 2017).
+
+PIANO authenticates a user on a voice-powered IoT device by acoustically
+measuring the distance to a *vouching device* the user carries, granting
+access iff the distance is within a user-selected threshold.  This package
+implements the complete system on a simulated acoustic substrate:
+
+* :mod:`repro.core` — the ACTION ranging protocol and PIANO decision layer;
+* :mod:`repro.dsp`, :mod:`repro.acoustics`, :mod:`repro.devices`,
+  :mod:`repro.comms`, :mod:`repro.sim` — the substrates (signal processing,
+  propagation/noise, device hardware, Bluetooth, world simulation);
+* :mod:`repro.baselines` — ACTION-CC and Echo/Echo-Secure comparators;
+* :mod:`repro.attacks` — the threat model's adversaries;
+* :mod:`repro.eval` — experiment drivers regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import AcousticWorld, AuthConfig, Point
+
+    world = AcousticWorld(environment="office", seed=7)
+    world.add_device("assistant", Point(0.0, 0.0))
+    world.add_device("watch", Point(0.8, 0.0))
+    world.pair("assistant", "watch")
+    result = world.authenticate("assistant", "watch",
+                                AuthConfig(threshold_m=1.0))
+    print(result)
+"""
+
+from repro.core.action import ActionRanging, SignalPair
+from repro.core.config import AuthConfig, ProtocolConfig, paper_config
+from repro.core.decisions import AuthDecision, AuthResult, DenyReason
+from repro.core.detection import DetectionResult, FrequencyDetector
+from repro.core.exceptions import (
+    ChannelSecurityError,
+    ConfigurationError,
+    PairingError,
+    PianoError,
+    ProtocolError,
+    SignalNotPresentError,
+)
+from repro.core.frequencies import FrequencyPlan, build_frequency_plan
+from repro.core.piano import PianoAuthenticator, PreAuthenticator
+from repro.core.ranging import (
+    DeviceObservation,
+    RangingOutcome,
+    RangingStatus,
+    estimate_distance,
+)
+from repro.core.signal_construction import (
+    ReferenceSignal,
+    construct_reference_signal,
+    signal_from_indices,
+)
+from repro.acoustics.environment import (
+    ENVIRONMENTS,
+    Environment,
+    get_environment,
+)
+from repro.devices.device import Device
+from repro.sim.geometry import Point, Room, Wall
+from repro.sim.world import AcousticWorld
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcousticWorld",
+    "ActionRanging",
+    "AuthConfig",
+    "AuthDecision",
+    "AuthResult",
+    "ChannelSecurityError",
+    "ConfigurationError",
+    "DenyReason",
+    "DetectionResult",
+    "Device",
+    "DeviceObservation",
+    "ENVIRONMENTS",
+    "Environment",
+    "FrequencyDetector",
+    "FrequencyPlan",
+    "PairingError",
+    "PianoAuthenticator",
+    "PianoError",
+    "Point",
+    "PreAuthenticator",
+    "ProtocolConfig",
+    "ProtocolError",
+    "RangingOutcome",
+    "RangingStatus",
+    "ReferenceSignal",
+    "Room",
+    "SignalNotPresentError",
+    "SignalPair",
+    "Wall",
+    "build_frequency_plan",
+    "construct_reference_signal",
+    "estimate_distance",
+    "get_environment",
+    "paper_config",
+    "signal_from_indices",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""acoustics subpackage of the PIANO reproduction."""

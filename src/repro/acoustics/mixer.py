@@ -1,0 +1,173 @@
+"""The arrival mixer: renders what each microphone records.
+
+Given a set of playback events (who radiated which waveform, starting at
+which world time) and a recording request (which device listens, from when,
+for how many samples), the mixer assembles the device's capture buffer:
+
+1. background environment noise plus microphone self-noise,
+2. every playback's arrival — delayed by propagation, scaled by spreading ×
+   wall loss × transducer gains, convolved with the random per-pair channel
+   filter (frequency smoothing), warped by the relative clock skew of the
+   source/sink pair, and placed at the sample index the sink's own clock
+   assigns to the arrival time,
+3. 16-bit quantization, exactly like an Android capture buffer.
+
+Sample placement is rounded to the sink's sample grid; one sample at
+44.1 kHz is 7.8 mm of acoustic travel, an order of magnitude below the
+paper's reported errors (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acoustics.environment import Environment
+from repro.acoustics.propagation import PropagationModel
+from repro.devices.device import Device
+from repro.dsp.quantize import quantize_pcm16
+from repro.dsp.resample import apply_clock_skew
+from repro.sim.geometry import Room
+
+__all__ = ["PlaybackEvent", "RecordingRequest", "AcousticMixer"]
+
+
+@dataclass(frozen=True)
+class PlaybackEvent:
+    """One radiated waveform.
+
+    Attributes
+    ----------
+    device:
+        The radiating device (position and hardware are read from it).
+    waveform:
+        The radiated waveform — *after* the speaker model
+        (:meth:`repro.devices.audio.SpeakerSpec.radiate`) — at the source's
+        nominal sample rate.
+    world_start:
+        World time at which the first sample leaves the speaker.
+    label:
+        Diagnostic tag ("S_A", "S_V", "interferer-1", "spoof", …).
+    """
+
+    device: Device
+    waveform: np.ndarray
+    world_start: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        waveform = np.asarray(self.waveform, dtype=np.float64)
+        if waveform.ndim != 1:
+            raise ValueError(f"waveform must be 1-D, got shape {waveform.shape}")
+        waveform.setflags(write=False)
+        object.__setattr__(self, "waveform", waveform)
+
+
+@dataclass(frozen=True)
+class RecordingRequest:
+    """One device's capture: ``n_samples`` starting at ``world_start``."""
+
+    device: Device
+    world_start: float
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {self.n_samples}")
+
+
+@dataclass
+class AcousticMixer:
+    """Renders microphone captures for one session.
+
+    Channel filters are realized lazily per (source, sink) device pair and
+    cached for the lifetime of the mixer, so the two directions of one
+    ranging session each see a single consistent channel — but a new mixer
+    (new session) draws fresh channels, reproducing the per-session
+    variability of real hardware and air.
+    """
+
+    environment: Environment
+    room: Room = field(default_factory=Room.open_space)
+    propagation: PropagationModel = field(default_factory=PropagationModel)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+    _channels: dict[tuple[str, str], np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _channel_taps(self, source: Device, sink: Device) -> np.ndarray:
+        key = (source.name, sink.name)
+        taps = self._channels.get(key)
+        if taps is None:
+            if source.name == sink.name:
+                profile = self.environment.reverb.self_path()
+            else:
+                profile = self.environment.reverb
+            taps = profile.draw_channel(self.rng).taps
+            self._channels[key] = taps
+        return taps
+
+    def _pair_amplitude(self, source: Device, sink: Device) -> float:
+        """End-to-end amplitude factor excluding the speaker gain.
+
+        The speaker gain is already baked into the radiated waveform; this
+        factor covers spreading, walls, and the microphone gain.
+        """
+        if source.name == sink.name:
+            spreading = self.propagation.spreading_factor(source.speaker.self_gap_m)
+            wall_factor = 1.0
+        else:
+            spreading = self.propagation.spreading_factor(source.distance_to(sink))
+            wall_factor = self.room.path_amplitude_factor(
+                source.position, sink.position
+            )
+        return spreading * wall_factor * sink.microphone.gain
+
+    def _arrival_distance(self, source: Device, sink: Device) -> float:
+        if source.name == sink.name:
+            return source.speaker.self_gap_m
+        return source.distance_to(sink)
+
+    def render(self, request: RecordingRequest, playbacks: list[PlaybackEvent]) -> np.ndarray:
+        """Render the capture buffer for ``request``.
+
+        Returns ``n_samples`` of quantized 16-bit-valued float samples in
+        the sink device's own clock/sample grid.
+        """
+        sink = request.device
+        buffer = self.environment.noise.sample(
+            request.n_samples, sink.sample_rate, self.rng
+        )
+        buffer += sink.microphone.self_noise(request.n_samples, self.rng)
+
+        for playback in playbacks:
+            source = playback.device
+            amplitude = self._pair_amplitude(source, sink)
+            if amplitude <= 1e-9:
+                continue
+            distance = self._arrival_distance(source, sink)
+            arrival_world = playback.world_start + self.propagation.delay_s(distance)
+            start_index = int(
+                round(sink.clock.sample_index(arrival_world, request.world_start))
+            )
+            taps = self._channel_taps(source, sink)
+            received = np.convolve(playback.waveform, taps) * amplitude
+            relative_ppm = sink.clock.skew_ppm - source.clock.skew_ppm
+            if relative_ppm:
+                received = apply_clock_skew(received, relative_ppm)
+            self._add_at(buffer, received, start_index)
+
+        return quantize_pcm16(buffer)
+
+    @staticmethod
+    def _add_at(buffer: np.ndarray, signal: np.ndarray, start: int) -> None:
+        """Add ``signal`` into ``buffer`` at ``start``, clipping the overlap."""
+        n = buffer.shape[0]
+        lo = max(start, 0)
+        hi = min(start + signal.shape[0], n)
+        if hi <= lo:
+            return
+        buffer[lo:hi] += signal[lo - start : hi - start]

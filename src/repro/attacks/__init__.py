@@ -1,0 +1,1 @@
+"""attacks subpackage of the PIANO reproduction."""

@@ -1,0 +1,70 @@
+"""All-frequency-based spoofing attacks (§V).
+
+The attacker synthesizes one sine per candidate frequency, sums them, and
+plays the result throughout the authentication window, hoping that *some*
+window matches whatever subset the session sampled.
+
+The paper's defence analysis: with reference powers large enough that
+``α·R_f > β``, every window containing the spoof fails a sanity check no
+matter how the attacker scales the power P_a — if the received P_a exceeds
+β, the out-of-F ceiling trips; if it stays below α·R_f, the in-F floor
+trips; between the two, both trip.  The attack therefore converts the scan
+into ⊥, which PIANO maps to deny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.mixer import PlaybackEvent
+from repro.attacks.base import Attack
+from repro.core.frequencies import build_frequency_plan
+from repro.dsp.quantize import quantize_pcm16
+from repro.dsp.sine import synthesize_tone_sum
+
+__all__ = ["AllFrequencySpoofAttack"]
+
+
+@dataclass
+class AllFrequencySpoofAttack(Attack):
+    """Blanket the session with a sum of all N candidate tones.
+
+    Attributes
+    ----------
+    power_scale:
+        The attacker's per-tone amplitude as a fraction of the maximum the
+        hardware allows (``reference_peak / N`` keeps the sum unclipped);
+        §V shows the attack fails for *every* choice, which the security
+        experiment sweeps.
+    """
+
+    power_scale: float = 1.0
+
+    def playbacks(
+        self, window_start: float, window_end: float, rng: np.random.Generator
+    ) -> list[PlaybackEvent]:
+        config = self.config
+        plan = build_frequency_plan(config)
+        n = config.n_candidates
+        amplitude = self.power_scale * config.reference_peak / n
+        duration = window_end - window_start
+        n_samples = int(round(duration * config.sample_rate))
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=n)
+        waveform = synthesize_tone_sum(
+            frequencies=plan.frequencies,
+            amplitudes=np.full(n, amplitude),
+            n_samples=n_samples,
+            sample_rate=config.sample_rate,
+            phases=phases,
+        )
+        waveform = quantize_pcm16(self.attacker.speaker.radiate(waveform))
+        return [
+            PlaybackEvent(
+                device=self.attacker,
+                waveform=waveform,
+                world_start=window_start,
+                label="all-frequency-spoof",
+            )
+        ]

@@ -1,0 +1,72 @@
+"""Ambience-injection attack — §II's argument against ambience comparators.
+
+"attackers could play the same music around the two devices to modify
+their ambient acoustic signals."  The attacker stations a loud source that
+both devices hear; the injected content dominates both recordings, so the
+frame-energy profiles correlate strongly even when the devices are far
+apart — defeating Amigo-style proximity checks.
+
+This attack targets :class:`repro.baselines.ambient.AmbienceAuthenticator`
+(the related-work foil), not PIANO — PIANO's β sanity check treats the
+same injection as interference and denies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.mixer import PlaybackEvent
+from repro.devices.device import Device
+
+__all__ = ["AmbienceInjectionAttack", "music_like_waveform"]
+
+
+def music_like_waveform(
+    rng: np.random.Generator,
+    n_samples: int,
+    sample_rate: float,
+    amplitude: float = 9000.0,
+) -> np.ndarray:
+    """A music-like wideband signal: beat-modulated low-frequency noise.
+
+    Strong rhythmic amplitude modulation is what makes the injected
+    content's frame-energy profile so distinctive — and so correlated
+    between any two microphones that hear it.
+    """
+    t = np.arange(n_samples) / sample_rate
+    carrier = rng.normal(0.0, 1.0, size=n_samples)
+    # Crude spectral shaping: cumulative sum reddens the spectrum (bass).
+    bass = np.cumsum(carrier)
+    bass = bass - bass.mean()
+    scale = np.max(np.abs(bass))
+    if scale > 0:
+        bass = bass / scale
+    beat = 0.55 + 0.45 * np.square(np.sin(2.0 * np.pi * 2.1 * t))
+    return amplitude * bass * beat
+
+
+@dataclass
+class AmbienceInjectionAttack:
+    """Play loud 'music' heard by both devices of an ambience comparator."""
+
+    attacker: Device
+    amplitude: float = 9000.0
+    duration_s: float = 1.0
+
+    def playbacks(
+        self, world_start: float, rng: np.random.Generator, sample_rate: float
+    ) -> list[PlaybackEvent]:
+        n_samples = int(round(self.duration_s * sample_rate))
+        waveform = music_like_waveform(
+            rng, n_samples, sample_rate, self.amplitude
+        )
+        return [
+            PlaybackEvent(
+                device=self.attacker,
+                waveform=waveform,
+                world_start=world_start,
+                label="ambience-injection",
+            )
+        ]

@@ -1,0 +1,35 @@
+"""Zero-effort attacks (§III): just try the device while the user is away.
+
+The attacker injects nothing; success depends entirely on the system's
+distance-estimation errors (and, past the Bluetooth range, is impossible
+because pairing fails).  The FAR columns of Table II are exactly the
+success rates of this attack as a function of the user's distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.mixer import PlaybackEvent
+from repro.attacks.base import Attack, AttackOutcome
+
+__all__ = ["ZeroEffortAttack"]
+
+
+@dataclass
+class ZeroEffortAttack(Attack):
+    """Try to authenticate with no acoustic injection at all."""
+
+    def playbacks(
+        self, window_start: float, window_end: float, rng: np.random.Generator
+    ) -> list[PlaybackEvent]:
+        return []
+
+    def run(self) -> AttackOutcome:
+        """One attempt; the attacker merely touches the device."""
+        result = self.world.authenticate(
+            self.auth_name, self.vouch_name, self.auth_config
+        )
+        return AttackOutcome(granted=result.granted, auth_result=result)

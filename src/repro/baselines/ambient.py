@@ -1,0 +1,134 @@
+"""Ambience-comparison authentication — the related-work foil (§II).
+
+Amigo-style systems [Varshavsky et al., UbiComp 2007] decide proximity by
+comparing the *ambient* signals two devices observe: same room ⇒ similar
+noise.  The paper criticizes them on two counts, both of which this module
+makes measurable:
+
+1. **no absolute distances** — similarity degrades only gently with
+   distance inside a room, so a user cannot express "0.5 m vs 1 m"
+   (:meth:`AmbienceAuthenticator.similarity` is nearly flat in distance);
+2. **spoofable ambience** — an attacker who plays loud content near both
+   devices dominates their recordings and drives the similarity up
+   (:mod:`repro.attacks.ambience_injection`).
+
+The comparator records both devices simultaneously, extracts low-frequency
+band energies over coarse time frames, and correlates the two energy
+profiles — the standard audio-fingerprint similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.environment import Environment
+from repro.acoustics.mixer import AcousticMixer, PlaybackEvent, RecordingRequest
+from repro.acoustics.propagation import PropagationModel
+from repro.devices.device import Device
+from repro.sim.geometry import Room
+
+__all__ = ["AmbienceAuthenticator", "ambient_similarity"]
+
+
+def ambient_similarity(
+    recording_a: np.ndarray,
+    recording_b: np.ndarray,
+    sample_rate: float,
+    frame_s: float = 0.05,
+    band_hz: float = 6000.0,
+) -> float:
+    """Correlation of two recordings' low-band frame-energy profiles.
+
+    Frames of ``frame_s`` seconds are reduced to their sub-``band_hz``
+    spectral energy; the Pearson correlation of the two energy sequences is
+    the similarity score in [−1, 1].
+    """
+    a = np.asarray(recording_a, dtype=np.float64)
+    b = np.asarray(recording_b, dtype=np.float64)
+    n = min(a.shape[0], b.shape[0])
+    if n == 0:
+        raise ValueError("recordings must be non-empty")
+    frame = max(16, int(round(frame_s * sample_rate)))
+    n_frames = n // frame
+    if n_frames < 4:
+        raise ValueError("recordings too short for ambience comparison")
+
+    def _profile(signal: np.ndarray) -> np.ndarray:
+        frames = signal[: n_frames * frame].reshape(n_frames, frame)
+        spectra = np.abs(np.fft.rfft(frames, axis=1)) ** 2
+        freqs = np.fft.rfftfreq(frame, d=1.0 / sample_rate)
+        return spectra[:, freqs <= band_hz].sum(axis=1)
+
+    pa, pb = _profile(a), _profile(b)
+    pa = pa - pa.mean()
+    pb = pb - pb.mean()
+    denom = float(np.linalg.norm(pa) * np.linalg.norm(pb))
+    if denom == 0:
+        return 0.0
+    return float(np.dot(pa, pb) / denom)
+
+
+@dataclass
+class AmbienceAuthenticator:
+    """Grants access when ambient similarity exceeds a threshold.
+
+    Attributes
+    ----------
+    threshold:
+        Similarity above which the two devices are declared "together".
+    record_span_s:
+        Duration of the simultaneous ambient recordings.
+    """
+
+    threshold: float = 0.6
+    record_span_s: float = 1.0
+
+    def similarity(
+        self,
+        device_a: Device,
+        device_b: Device,
+        environment: Environment,
+        room: Room,
+        propagation: PropagationModel,
+        rng: np.random.Generator,
+        extra_playbacks: list[PlaybackEvent] | None = None,
+    ) -> float:
+        """Measure the ambient similarity between two devices.
+
+        Both devices record the same world window; the shared environment
+        noise is rendered once and attenuated per device position so
+        co-located devices hear near-identical ambience.
+        """
+        mixer = AcousticMixer(
+            environment=environment, room=room, propagation=propagation, rng=rng
+        )
+        n_samples = int(
+            round(self.record_span_s * device_a.clock.nominal_sample_rate)
+        )
+        playbacks = list(extra_playbacks or [])
+        # A common far-field ambient source heard by both devices models
+        # the shared component of room ambience that Amigo-style systems
+        # exploit; each device also keeps its own local noise.
+        shared = environment.noise.sample(
+            n_samples, device_a.clock.nominal_sample_rate, rng
+        )
+        source = Device(
+            name="__ambience__",
+            position=device_a.position.translated(1.5, 1.5),
+        )
+        playbacks.append(
+            PlaybackEvent(
+                device=source, waveform=shared, world_start=0.0, label="ambience"
+            )
+        )
+        rec_a = mixer.render(RecordingRequest(device_a, 0.0, n_samples), playbacks)
+        rec_b = mixer.render(RecordingRequest(device_b, 0.0, n_samples), playbacks)
+        return ambient_similarity(
+            rec_a, rec_b, device_a.clock.nominal_sample_rate
+        )
+
+    def decide(self, similarity: float) -> bool:
+        """The grant/deny rule."""
+        return similarity >= self.threshold

@@ -1,0 +1,95 @@
+"""Command-line interface: regenerate any table or figure from the paper.
+
+Examples
+--------
+List everything that can be reproduced::
+
+    python -m repro list
+
+Regenerate Figure 1 with the paper's 10 trials per cell::
+
+    python -m repro run fig1
+
+Quick smoke pass over every experiment::
+
+    python -m repro run-all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.eval.registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="piano-repro",
+        description=(
+            "PIANO (ICDCS 2017) reproduction: regenerate the paper's "
+            "tables and figures on the simulated acoustic substrate"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--trials", type=int, default=None,
+        help="trials per cell (default: experiment-specific, paper-matching)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--quick", action="store_true", help="reduced trial counts"
+    )
+
+    all_parser = sub.add_parser("run-all", help="run every experiment")
+    all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument("--quick", action="store_true")
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"{'id':12s}  {'paper artifact':14s}  description")
+    print("-" * 76)
+    for entry in list_experiments():
+        print(f"{entry.name:12s}  {entry.paper_artifact:14s}  {entry.description}")
+    return 0
+
+
+def _cmd_run(name: str, trials: int | None, seed: int, quick: bool) -> int:
+    start = time.time()
+    report = run_experiment(name, trials=trials, seed=seed, quick=quick)
+    print(report.to_text())
+    print(f"\n[{name} completed in {time.time() - start:.1f}s]")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment, args.trials, args.seed, args.quick)
+        if args.command == "run-all":
+            status = 0
+            for entry in list_experiments():
+                status |= _cmd_run(entry.name, None, args.seed, args.quick)
+                print()
+            return status
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — not an error.
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""comms subpackage of the PIANO reproduction."""

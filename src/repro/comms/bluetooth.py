@@ -1,0 +1,130 @@
+"""Bluetooth substrate: pairing, range gating, latency, and eavesdropping.
+
+PIANO uses Bluetooth for three things (§IV):
+
+* **Registration** — one-time pairing establishing a shared key;
+* **Reachability gate** — if the vouching device is outside Bluetooth range
+  (≈ 10 m on commodity phones), authentication is rejected outright, which
+  is why the paper's FAR is identically 0 beyond 10 m (§VI-C);
+* **Secure transport** — Steps II and V travel encrypted and authenticated.
+
+The link also keeps a ciphertext transcript so the attack tests can model a
+radio eavesdropper: the transcript is what an attacker within radio range
+observes, and the tests verify it leaks nothing about the reference-signal
+frequency subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comms.messages import Message, decode_message, encode_message
+from repro.comms.secure_channel import SecureChannel, SecureFrame, generate_pairing_key
+from repro.core.exceptions import PairingError
+from repro.devices.device import Device
+
+__all__ = ["BluetoothLink", "pair_devices", "DEFAULT_BLUETOOTH_RANGE_M"]
+
+#: §VI-C: "roughly the communication range of Bluetooth on many commodity
+#: mobile devices" — 10 meters.
+DEFAULT_BLUETOOTH_RANGE_M = 10.0
+
+
+@dataclass
+class BluetoothLink:
+    """A paired Bluetooth link between two devices.
+
+    Attributes
+    ----------
+    device_a, device_b:
+        The paired endpoints (order is irrelevant).
+    channel:
+        The authenticated-encryption channel derived from pairing.
+    range_m:
+        Maximum communication range; transfers beyond it fail.
+    latency_range_s:
+        Uniform per-message latency bounds.
+    transcript:
+        Ciphertext frames observed so far (what an eavesdropper sees).
+    """
+
+    device_a: Device
+    device_b: Device
+    channel: SecureChannel
+    range_m: float = DEFAULT_BLUETOOTH_RANGE_M
+    latency_range_s: tuple[float, float] = (0.004, 0.020)
+    transcript: list[SecureFrame] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.range_m <= 0:
+            raise PairingError("Bluetooth range must be positive")
+        lo, hi = self.latency_range_s
+        if not 0 <= lo <= hi:
+            raise PairingError("latency bounds must satisfy 0 <= lo <= hi")
+
+    def peer_of(self, device: Device) -> Device:
+        """The other endpoint of the link."""
+        if device.name == self.device_a.name:
+            return self.device_b
+        if device.name == self.device_b.name:
+            return self.device_a
+        raise PairingError(f"device {device.name!r} is not on this link")
+
+    @property
+    def distance_m(self) -> float:
+        return self.device_a.distance_to(self.device_b)
+
+    def in_range(self) -> bool:
+        """Whether the endpoints are currently within radio range."""
+        return self.distance_m <= self.range_m
+
+    def draw_latency(self, rng: np.random.Generator) -> float:
+        lo, hi = self.latency_range_s
+        return float(rng.uniform(lo, hi))
+
+    def transfer(self, message: Message, rng: np.random.Generator) -> tuple[Message, float]:
+        """Send a message across the link.
+
+        Encrypts, records the ciphertext in the eavesdropper transcript,
+        decrypts at the far end, and returns ``(delivered_message,
+        latency_seconds)``.  Raises :class:`PairingError` when the endpoints
+        are out of range — the caller maps that to a deny.
+        """
+        if not self.in_range():
+            raise PairingError(
+                f"peers {self.distance_m:.2f} m apart exceed the "
+                f"{self.range_m:.1f} m Bluetooth range"
+            )
+        frame = self.channel.encrypt(encode_message(message), rng)
+        self.transcript.append(frame)
+        plaintext = self.channel.decrypt(frame)
+        return decode_message(plaintext), self.draw_latency(rng)
+
+
+def pair_devices(
+    device_a: Device,
+    device_b: Device,
+    rng: np.random.Generator,
+    range_m: float = DEFAULT_BLUETOOTH_RANGE_M,
+) -> BluetoothLink:
+    """The one-time registration phase (§IV): pair two devices.
+
+    Pairing requires the devices to be within radio range at registration
+    time (the human is present and confirms the pairing).  Returns the
+    long-lived link with its shared key.
+    """
+    if device_a.name == device_b.name:
+        raise PairingError("cannot pair a device with itself")
+    if device_a.distance_to(device_b) > range_m:
+        raise PairingError(
+            "devices must be within Bluetooth range to complete pairing"
+        )
+    key = generate_pairing_key(rng)
+    return BluetoothLink(
+        device_a=device_a,
+        device_b=device_b,
+        channel=SecureChannel(key),
+        range_m=range_m,
+    )

@@ -1,0 +1,133 @@
+"""Protocol messages exchanged over the Bluetooth secure channel.
+
+ACTION needs exactly two application messages (§IV-A):
+
+* Step II — the authenticating device ships both reference-signal
+  descriptions to the vouching device (:class:`RangingInit`);
+* Step V — the vouching device returns its local time difference
+  ``t_VA − t_VV`` (:class:`VouchReport`).
+
+A lightweight pairing liveness check (:class:`PairingCheck` /
+:class:`PairingAck`) models the "is the vouching device still paired"
+pre-check of the authentication phase (§IV).
+
+Messages serialize to JSON bytes; the secure channel encrypts and
+authenticates the bytes.  A reference signal travels as its candidate-index
+set — both ends synthesize the identical waveform from the shared
+configuration, exactly like the prototype's two apps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import ClassVar, Type
+
+from repro.core.exceptions import ProtocolError
+
+__all__ = [
+    "Message",
+    "RangingInit",
+    "VouchReport",
+    "PairingCheck",
+    "PairingAck",
+    "encode_message",
+    "decode_message",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: every message carries the session it belongs to."""
+
+    session_id: int
+
+    kind: ClassVar[str] = "base"
+
+
+@dataclass(frozen=True)
+class RangingInit(Message):
+    """Step II payload: both reference-signal frequency subsets + timing.
+
+    Attributes
+    ----------
+    signal_auth_indices, signal_vouch_indices:
+        Candidate indices of S_A and S_V.
+    record_span_s:
+        How long each device records.
+    vouch_play_offset_s:
+        When (relative to its own recording start) the vouching device
+        should play S_V — scheduled late enough that the two reference
+        signals never overlap in time (§VI-A detects both in one scan).
+    """
+
+    signal_auth_indices: tuple[int, ...] = ()
+    signal_vouch_indices: tuple[int, ...] = ()
+    record_span_s: float = 1.6
+    vouch_play_offset_s: float = 0.6
+
+    kind: ClassVar[str] = "ranging_init"
+
+
+@dataclass(frozen=True)
+class VouchReport(Message):
+    """Step V payload: the vouching device's local observation.
+
+    ``delta_seconds`` is ``t_VA − t_VV = (l_VA − l_VV)/f_V``; ``ok`` is
+    False when either detection returned ⊥, in which case the
+    authenticating device denies (§IV-C).
+    """
+
+    ok: bool = False
+    delta_seconds: float = 0.0
+
+    kind: ClassVar[str] = "vouch_report"
+
+
+@dataclass(frozen=True)
+class PairingCheck(Message):
+    """Authentication-phase liveness probe to the vouching device."""
+
+    kind: ClassVar[str] = "pairing_check"
+
+
+@dataclass(frozen=True)
+class PairingAck(Message):
+    """The vouching device's liveness answer."""
+
+    kind: ClassVar[str] = "pairing_ack"
+
+
+_REGISTRY: dict[str, Type[Message]] = {
+    cls.kind: cls for cls in (RangingInit, VouchReport, PairingCheck, PairingAck)
+}
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize a message to canonical JSON bytes."""
+    if message.kind not in _REGISTRY:
+        raise ProtocolError(f"unregistered message type {type(message).__name__}")
+    body = asdict(message)
+    envelope = {"kind": message.kind, "body": body}
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_message(payload: bytes) -> Message:
+    """Parse bytes produced by :func:`encode_message`."""
+    try:
+        envelope = json.loads(payload.decode())
+        kind = envelope["kind"]
+        body = envelope["body"]
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed message payload: {exc}") from exc
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    # JSON round-trips tuples as lists; normalize the index fields.
+    for key in ("signal_auth_indices", "signal_vouch_indices"):
+        if key in body and isinstance(body[key], list):
+            body[key] = tuple(int(i) for i in body[key])
+    try:
+        return cls(**body)
+    except TypeError as exc:
+        raise ProtocolError(f"bad fields for {kind!r}: {exc}") from exc

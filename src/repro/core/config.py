@@ -1,0 +1,220 @@
+"""Configuration objects for ACTION ranging and PIANO authentication.
+
+Defaults reproduce the paper's prototype (§VI-A):
+
+* 44.1 kHz sampling, 16-bit samples, reference peak 32000;
+* N = 30 candidate frequencies, the centers of 30 equal bins in 25–35 kHz;
+* reference-signal length 4096 samples (≈ 93 ms);
+* detector parameters α = 1 %, β = 0.5 %·R_f, θ = 5, ε = 1 %;
+* adaptive scan: coarse step 1000, fine step 10;
+* authentication threshold τ = 1.0 m (user-tunable, §I "personalizable").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["ProtocolConfig", "AuthConfig", "paper_config", "PAPER_SPEED_OF_SOUND"]
+
+#: §IV-D: "speed of sound is around 340 m/s". We default to 343 m/s (20 °C);
+#: the paper's rounded constant is kept for reference.
+PAPER_SPEED_OF_SOUND = 340.0
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Parameters of the ACTION distance-estimation protocol.
+
+    Attributes
+    ----------
+    sample_rate:
+        Nominal ADC/DAC rate in Hz on both devices (paper: 44.1 kHz, the
+        Android maximum).
+    band_low, band_high:
+        Candidate frequency band in Hz (paper: 25–35 kHz; chosen above the
+        < 6 kHz concentration of background noise and its > 38 kHz aliases).
+    n_candidates:
+        Number of candidate frequencies N (paper: 30).
+    signal_length:
+        Reference-signal length in samples; must be a power of two for the
+        FFT (paper: 4096 ≈ 93 ms at 44.1 kHz).
+    reference_peak:
+        Peak amplitude budget of a reference signal (paper: 32000 of the
+        16-bit range). With n tones, each tone gets amplitude
+        ``reference_peak / n`` and power ``R_f = (reference_peak/n)²``.
+    alpha:
+        Attenuation tolerance of the per-frequency sanity check: a window
+        passes only if every reference frequency carries power > α·R_f
+        (paper: 1 %).
+    beta_fraction:
+        Out-of-signal power ceiling as a fraction of R_f: every candidate
+        frequency *not* in the reference must carry power < β = β_frac·R_f
+        (paper: 0.5 %).
+    epsilon:
+        Not-present threshold factor: if the best normalized power is below
+        ε·R_S (R_S = Σ_f R_f), the signal is declared absent — the paper's ⊥
+        (§VI-A sets "ϵ = α = 1 %"; see DESIGN.md §4 note 2).
+    theta:
+        Frequency-smoothing half-width in FFT bins; power is aggregated over
+        ±θ bins around each candidate (paper: 5).
+    coarse_step, fine_step:
+        Adaptive-scan step sizes in samples (paper: 1000 then 10).
+    fine_radius:
+        Half-width of the fine scan around the coarse maximum, in samples.
+        Must be ≥ coarse_step so the fine pass covers the coarse grid gap.
+    min_tones, max_tones:
+        Inclusive bounds on the sampled tone count n (paper: 0 < n < N).
+    speed_of_sound:
+        Propagation speed in m/s used by the distance equations.
+    """
+
+    sample_rate: float = 44_100.0
+    band_low: float = 25_000.0
+    band_high: float = 35_000.0
+    n_candidates: int = 30
+    signal_length: int = 4096
+    reference_peak: float = 32_000.0
+    alpha: float = 0.01
+    beta_fraction: float = 0.005
+    epsilon: float = 0.01
+    theta: int = 5
+    coarse_step: int = 1000
+    fine_step: int = 10
+    fine_radius: int = 1200
+    min_tones: int = 1
+    max_tones: int = 29
+    speed_of_sound: float = 343.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigurationError(f"sample_rate must be positive: {self.sample_rate}")
+        if not 0 < self.band_low < self.band_high:
+            raise ConfigurationError(
+                f"need 0 < band_low < band_high, got [{self.band_low}, {self.band_high}]"
+            )
+        if self.band_high >= self.sample_rate:
+            raise ConfigurationError(
+                "band_high must stay below the sample rate for the discrete-"
+                f"time bin mapping to be unambiguous: {self.band_high} >= "
+                f"{self.sample_rate}"
+            )
+        if self.n_candidates < 2:
+            raise ConfigurationError(
+                f"n_candidates must be at least 2, got {self.n_candidates}"
+            )
+        if self.signal_length < 2 or self.signal_length & (self.signal_length - 1):
+            raise ConfigurationError(
+                f"signal_length must be a power of two (FFT), got {self.signal_length}"
+            )
+        if self.reference_peak <= 0:
+            raise ConfigurationError("reference_peak must be positive")
+        for name in ("alpha", "beta_fraction", "epsilon"):
+            value = getattr(self, name)
+            if not 0 < value < 1:
+                raise ConfigurationError(f"{name} must be in (0, 1), got {value}")
+        if self.theta < 0:
+            raise ConfigurationError(f"theta must be non-negative, got {self.theta}")
+        if self.coarse_step <= 0 or self.fine_step <= 0:
+            raise ConfigurationError("scan steps must be positive")
+        if self.fine_step > self.coarse_step:
+            raise ConfigurationError(
+                f"fine_step ({self.fine_step}) must not exceed coarse_step "
+                f"({self.coarse_step})"
+            )
+        if self.fine_radius < self.coarse_step:
+            raise ConfigurationError(
+                f"fine_radius ({self.fine_radius}) must cover at least one "
+                f"coarse step ({self.coarse_step}) or the fine pass can miss "
+                "the true maximum"
+            )
+        if not 1 <= self.min_tones <= self.max_tones <= self.n_candidates - 1:
+            raise ConfigurationError(
+                "tone-count bounds must satisfy 1 <= min_tones <= max_tones "
+                f"<= N-1; got [{self.min_tones}, {self.max_tones}] with "
+                f"N={self.n_candidates}"
+            )
+        if self.speed_of_sound <= 0:
+            raise ConfigurationError("speed_of_sound must be positive")
+        # The ±θ aggregation windows of adjacent candidates must not overlap,
+        # otherwise one tone's power leaks into its neighbour's β check.
+        bin_spacing = (self.band_high - self.band_low) / self.n_candidates
+        bin_spacing_fft = bin_spacing / self.sample_rate * self.signal_length
+        if bin_spacing_fft < 2 * self.theta + 1:
+            raise ConfigurationError(
+                f"candidate spacing of {bin_spacing_fft:.1f} FFT bins is too "
+                f"small for theta={self.theta}; aggregation windows overlap"
+            )
+
+    @property
+    def signal_duration(self) -> float:
+        """Reference-signal duration in seconds (paper: ≈ 93 ms)."""
+        return self.signal_length / self.sample_rate
+
+    @property
+    def samples_per_meter(self) -> float:
+        """Samples of acoustic travel per meter at the nominal rate."""
+        return self.sample_rate / self.speed_of_sound
+
+    def tone_power(self, n_tones: int) -> float:
+        """Per-tone power ``R_f = (reference_peak / n)²`` (§VI-A)."""
+        if not self.min_tones <= n_tones <= self.max_tones:
+            raise ConfigurationError(
+                f"n_tones={n_tones} outside [{self.min_tones}, {self.max_tones}]"
+            )
+        return (self.reference_peak / n_tones) ** 2
+
+    def beta(self, n_tones: int) -> float:
+        """Out-of-signal power ceiling β = beta_fraction · R_f."""
+        return self.beta_fraction * self.tone_power(n_tones)
+
+    def with_overrides(self, **changes) -> "ProtocolConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class AuthConfig:
+    """Parameters of the PIANO authentication decision layer.
+
+    Attributes
+    ----------
+    threshold_m:
+        Authentication threshold τ in meters; access is granted iff the
+        estimated distance is ≤ τ (paper evaluates τ ∈ {0.5, 1, 1.5, 2}).
+    bluetooth_range_m:
+        Pairing gate: beyond this range the vouching device is unreachable
+        and the access is rejected outright (paper: ≈ 10 m, which is why
+        FAR ≡ 0 past 10 m).
+    max_retries:
+        Number of additional ranging rounds attempted when a round returns
+        ⊥ before PIANO gives up and denies (the prototype denies on first ⊥;
+        retries are our optional extension, default off).
+    """
+
+    threshold_m: float = 1.0
+    bluetooth_range_m: float = 10.0
+    max_retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threshold_m <= 0:
+            raise ConfigurationError(f"threshold_m must be positive: {self.threshold_m}")
+        if self.bluetooth_range_m <= 0:
+            raise ConfigurationError("bluetooth_range_m must be positive")
+        if self.threshold_m > self.bluetooth_range_m:
+            raise ConfigurationError(
+                f"threshold ({self.threshold_m} m) beyond the Bluetooth range "
+                f"({self.bluetooth_range_m} m) can never be satisfied"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+
+    def with_overrides(self, **changes) -> "AuthConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+
+def paper_config() -> ProtocolConfig:
+    """The exact prototype parameterization from §VI-A."""
+    return ProtocolConfig()

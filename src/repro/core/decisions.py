@@ -1,0 +1,96 @@
+"""Authentication decisions and their reasons.
+
+PIANO's decision rule (§III, §IV): grant access iff the vouching device is
+paired, reachable over Bluetooth, and the ACTION distance estimate is no
+larger than the user-selected threshold τ.  Every deny carries a machine-
+readable reason so applications (and our experiments) can distinguish
+"user too far" from "signal not present" from "no pairing".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.ranging import RangingOutcome
+
+__all__ = ["AuthDecision", "DenyReason", "AuthResult"]
+
+
+class AuthDecision(enum.Enum):
+    """The binary outcome of a PIANO authentication."""
+
+    GRANT = "grant"
+    DENY = "deny"
+
+
+class DenyReason(enum.Enum):
+    """Why an authentication was denied (NONE for grants)."""
+
+    NONE = "none"
+    #: No registration: the devices were never paired (§IV, registration).
+    NOT_PAIRED = "not_paired"
+    #: Pairing exists but the vouching device is beyond Bluetooth range —
+    #: the gate that makes FAR ≡ 0 past ~10 m (§VI-C).
+    OUT_OF_BLUETOOTH_RANGE = "out_of_bluetooth_range"
+    #: A reference signal was declared not present (⊥) — far devices,
+    #: walls, heavy interference, or spoofing attempts (§IV-C, §VI-E).
+    SIGNAL_NOT_PRESENT = "signal_not_present"
+    #: Ranging succeeded but the distance exceeds the threshold τ.
+    DISTANCE_EXCEEDS_THRESHOLD = "distance_exceeds_threshold"
+    #: A secure-channel message failed authentication.
+    CHANNEL_TAMPERED = "channel_tampered"
+
+
+@dataclass(frozen=True)
+class AuthResult:
+    """Full record of one PIANO authentication attempt.
+
+    Attributes
+    ----------
+    decision:
+        Grant or deny.
+    reason:
+        Deny reason (``DenyReason.NONE`` for grants).
+    threshold_m:
+        The τ in force for this attempt.
+    distance_m:
+        The ACTION estimate, when ranging completed.
+    rounds:
+        Number of ranging rounds executed (> 1 only with the retry
+        extension enabled).
+    ranging:
+        Diagnostics of the final ranging round, if any was executed.
+    elapsed_s:
+        Modeled end-to-end latency (§VI-D: ≈ 3 s on the prototype).
+    energy_j:
+        Modeled energy consumed on the authenticating device (§VI-D:
+        100 authentications ≈ 0.6 % of an S4 battery).
+    """
+
+    decision: AuthDecision
+    reason: DenyReason
+    threshold_m: float
+    distance_m: float | None = None
+    rounds: int = 0
+    ranging: RangingOutcome | None = None
+    elapsed_s: float = 0.0
+    energy_j: float = 0.0
+
+    @property
+    def granted(self) -> bool:
+        return self.decision is AuthDecision.GRANT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.granted:
+            return (
+                f"GRANT (distance {self.distance_m:.3f} m <= "
+                f"threshold {self.threshold_m:.2f} m)"
+            )
+        detail = (
+            f"{self.distance_m:.3f} m" if self.distance_m is not None else "n/a"
+        )
+        return (
+            f"DENY [{self.reason.value}] (distance {detail}, "
+            f"threshold {self.threshold_m:.2f} m)"
+        )

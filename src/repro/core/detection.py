@@ -1,0 +1,394 @@
+"""Step IV — the frequency-based signal-detection algorithm (§IV-C).
+
+This implements Algorithm 1 (sliding scan with the not-present check) and
+Algorithm 2 (``NormPower`` with the α/β sanity checks) from the paper,
+including the prototype's two practical optimizations (§VI-A):
+
+* **adaptive step sizes** — a coarse pass (step 1000) localizes the window,
+  a fine pass (step 10) refines it;
+* **one-scan multi-signal detection** — each window's FFT and per-candidate
+  power aggregation is computed once and evaluated against every reference
+  signal's hypothesis.
+
+The normalized power of a window is ``Σ_{f∈F} P_f − Σ_{f∉F} P_f`` when the
+sanity checks pass and ``−∞`` otherwise; a signal is declared *not present*
+(the paper's ⊥) when the best normalized power stays below ``ε·R_S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.frequencies import FrequencyPlan, build_frequency_plan
+from repro.core.signal_construction import ReferenceSignal
+from repro.dsp.windows import refine_range, window_starts
+
+__all__ = ["SignalHypothesis", "DetectionResult", "FrequencyDetector"]
+
+
+@dataclass(frozen=True)
+class SignalHypothesis:
+    """Detector-side description of one reference signal.
+
+    Attributes
+    ----------
+    member_mask:
+        Boolean vector of length N; ``True`` for candidates in the signal's
+        frequency set F.
+    tone_power:
+        R_f — expected power per tone in the pristine signal.
+    beta:
+        β — the ceiling on out-of-F candidate power (Algorithm 2, line 9).
+    total_power:
+        R_S = Σ_f R_f (Algorithm 1, line 11).
+    label:
+        Human-readable tag used in diagnostics ("S_A", "S_V", …).
+    """
+
+    member_mask: np.ndarray
+    tone_power: float
+    beta: float
+    total_power: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        mask = np.asarray(self.member_mask, dtype=bool)
+        mask.setflags(write=False)
+        object.__setattr__(self, "member_mask", mask)
+        if not mask.any():
+            raise ValueError("a signal hypothesis needs at least one tone")
+        if not mask.size - mask.sum() >= 1:
+            raise ValueError(
+                "a hypothesis using every candidate frequency leaves nothing "
+                "for the β sanity check; the paper requires 0 < n < N"
+            )
+
+    @classmethod
+    def from_reference(
+        cls, reference: ReferenceSignal, plan: FrequencyPlan, label: str = ""
+    ) -> "SignalHypothesis":
+        """Build the hypothesis the detector needs from a reference signal."""
+        return cls(
+            member_mask=plan.member_mask(reference.candidate_indices),
+            tone_power=reference.tone_power,
+            beta=reference.beta,
+            total_power=reference.total_power,
+            label=label,
+        )
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of Algorithm 1 for one reference signal.
+
+    ``location`` is the sample index of the window start that maximizes the
+    normalized power, or ``None`` for the paper's ⊥ (signal not present).
+    """
+
+    location: int | None
+    peak_power: float
+    threshold: float
+    windows_scanned: int
+    label: str = ""
+
+    @property
+    def present(self) -> bool:
+        """Whether the signal was found (``location`` is not ⊥)."""
+        return self.location is not None
+
+
+class FrequencyDetector:
+    """The frequency-based detector of §IV-C, for a fixed configuration."""
+
+    def __init__(
+        self, config: ProtocolConfig, plan: FrequencyPlan | None = None
+    ) -> None:
+        self.config = config
+        self.plan = plan or build_frequency_plan(config)
+
+    # ------------------------------------------------------------------
+    # Power aggregation (Algorithm 2, lines 2–6, batched over windows)
+    # ------------------------------------------------------------------
+
+    def candidate_powers(
+        self, recording: np.ndarray, starts: np.ndarray
+    ) -> np.ndarray:
+        """Per-candidate aggregated powers for each window start.
+
+        Returns a ``(len(starts), N)`` matrix whose row ``w`` holds
+        Algorithm 2's ``P_f`` for every candidate frequency evaluated on the
+        window beginning at ``starts[w]``.
+        """
+        length = self.config.signal_length
+        recording = np.asarray(recording, dtype=np.float64)
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.size == 0:
+            return np.empty((0, self.plan.n_candidates), dtype=np.float64)
+        if starts.min() < 0 or starts.max() + length > recording.shape[0]:
+            raise ValueError("window starts out of range for the recording")
+        windows = np.lib.stride_tricks.sliding_window_view(recording, length)
+        batch = windows[starts]
+        spectra = np.fft.fft(batch, axis=1)
+        power = np.square(2.0 * np.abs(spectra) / length)
+        # Gather the ±θ aggregation bins of every candidate and sum them.
+        return power[:, self.plan.aggregation_bins].sum(axis=2)
+
+    def normalized_powers(
+        self,
+        candidate_powers: np.ndarray,
+        hypothesis: SignalHypothesis,
+        check_alpha: bool = True,
+        check_beta: bool = True,
+    ) -> np.ndarray:
+        """Algorithm 2 for a batch of windows.
+
+        With both checks enabled (the algorithm as written), windows
+        failing a sanity check get ``−inf`` (line 7/9); the rest get
+        ``Σ_{f∈F} P_f − Σ_{f∉F} P_f`` (line 10).
+
+        The coarse *localization* pass of :meth:`detect` disables the α
+        floor (``check_alpha=False``): a window misaligned by up to
+        coarse_step/2 loses a quadratic fraction of every tone's power and
+        a weak-but-valid signal would be filtered before the fine pass ever
+        saw it.  The β ceiling stays on in both passes — it is what keeps
+        the scan from locking onto the device's own signal, concurrent
+        users, or all-frequency spoofers.  The final decision always runs
+        with the full checks.
+        """
+        mask = hypothesis.member_mask
+        if candidate_powers.ndim != 2 or candidate_powers.shape[1] != mask.size:
+            raise ValueError(
+                f"candidate-power matrix of shape {candidate_powers.shape} "
+                f"does not match {mask.size} candidates"
+            )
+        in_band = candidate_powers[:, mask]
+        out_band = candidate_powers[:, ~mask]
+        scores = in_band.sum(axis=1) - out_band.sum(axis=1)
+        passes = np.ones(candidate_powers.shape[0], dtype=bool)
+        if check_alpha:
+            alpha_floor = self.config.alpha * hypothesis.tone_power
+            passes &= (in_band > alpha_floor).all(axis=1)
+        if check_beta and out_band.shape[1]:
+            passes &= (out_band < hypothesis.beta).all(axis=1)
+        return np.where(passes, scores, -np.inf)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 with the adaptive coarse/fine scan
+    # ------------------------------------------------------------------
+
+    def detect(
+        self,
+        recording: np.ndarray,
+        references: Sequence[ReferenceSignal],
+        labels: Sequence[str] | None = None,
+        exclusion_zones: Sequence[Sequence[tuple[int, int]]] | None = None,
+    ) -> list[DetectionResult]:
+        """Locate every reference signal in ``recording`` in one scan.
+
+        Parameters
+        ----------
+        recording:
+            The device's recorded sample buffer.
+        references:
+            The reference signals to locate (usually S_A and S_V).
+        labels:
+            Optional diagnostic labels, parallel to ``references``.
+        exclusion_zones:
+            Optional per-reference lists of ``(lo, hi)`` sample-index
+            intervals whose windows are skipped.  The protocol uses this
+            for the remote-signal scan: the device already knows where its
+            *own* (far louder) signal sits, and the playback schedule
+            guarantees the peer's signal is at least several signal-lengths
+            away, so masking the own-signal neighbourhood is sound protocol
+            knowledge rather than a heuristic.
+
+        Returns
+        -------
+        list[DetectionResult]
+            One result per reference, in order.  A result with
+            ``location=None`` is the paper's ⊥.
+        """
+        recording = np.asarray(recording, dtype=np.float64)
+        if labels is None:
+            labels = [f"S{i}" for i in range(len(references))]
+        if len(labels) != len(references):
+            raise ValueError("labels must parallel references")
+        if exclusion_zones is None:
+            exclusion_zones = [[] for _ in references]
+        if len(exclusion_zones) != len(references):
+            raise ValueError("exclusion_zones must parallel references")
+        hypotheses = [
+            SignalHypothesis.from_reference(ref, self.plan, label)
+            for ref, label in zip(references, labels)
+        ]
+        length = self.config.signal_length
+        coarse_starts = window_starts(
+            recording.shape[0], length, self.config.coarse_step
+        )
+        if coarse_starts.size == 0:
+            return [
+                DetectionResult(
+                    location=None,
+                    peak_power=-np.inf,
+                    threshold=self.config.epsilon * hyp.total_power,
+                    windows_scanned=0,
+                    label=hyp.label,
+                )
+                for hyp in hypotheses
+            ]
+        coarse_powers = self.candidate_powers(recording, coarse_starts)
+
+        results: list[DetectionResult] = []
+        for hypothesis, zones in zip(hypotheses, exclusion_zones):
+            # Coarse pass: localization with the β ceiling but without the
+            # α floor — a window misaligned by up to coarse_step/2 loses a
+            # quadratic fraction of every tone's power, and gating the
+            # coarse pass on α would shrink the detection range Algorithm 1
+            # (single scan at the fine step) achieves.  β stays on so loud
+            # off-hypothesis content (own signal, interferers, spoofers)
+            # cannot capture the argmax, and per-candidate contributions
+            # are capped near R_f so that a few very loud alien tones
+            # (another signal whose subset happens to fall inside this
+            # hypothesis's F) cannot out-score the true signal.
+            coarse_scores = self.localization_scores(coarse_powers, hypothesis)
+            coarse_scores = self._mask_zones(coarse_scores, coarse_starts, zones)
+            scanned = int(coarse_starts.size)
+            threshold = self.config.epsilon * hypothesis.total_power
+            if np.isfinite(coarse_scores).any():
+                best_coarse = int(np.argmax(coarse_scores))
+            else:
+                # Everything β-failed (e.g., a blanket all-frequency
+                # spoofer): localize on the raw score so the fine pass can
+                # render the final — inevitably ⊥ — verdict.
+                raw = self.normalized_powers(
+                    coarse_powers,
+                    hypothesis,
+                    check_alpha=False,
+                    check_beta=False,
+                )
+                raw = self._mask_zones(raw, coarse_starts, zones)
+                best_coarse = int(np.argmax(raw))
+            fine_starts = refine_range(
+                center=int(coarse_starts[best_coarse]),
+                radius=self.config.fine_radius,
+                total_length=recording.shape[0],
+                window_length=length,
+                step=self.config.fine_step,
+            )
+            fine_powers = self.candidate_powers(recording, fine_starts)
+            fine_scores = self.normalized_powers(fine_powers, hypothesis)
+            fine_scores = self._mask_zones(fine_scores, fine_starts, zones)
+            scanned += int(fine_starts.size)
+            peak = float(np.max(fine_scores))
+            location = self._onset_location(fine_starts, fine_scores, peak)
+            if not np.isfinite(peak) or peak < threshold:
+                results.append(
+                    DetectionResult(
+                        location=None,
+                        peak_power=peak,
+                        threshold=threshold,
+                        windows_scanned=scanned,
+                        label=hypothesis.label,
+                    )
+                )
+            else:
+                results.append(
+                    DetectionResult(
+                        location=location,
+                        peak_power=peak,
+                        threshold=threshold,
+                        windows_scanned=scanned,
+                        label=hypothesis.label,
+                    )
+                )
+        return results
+
+    #: Per-candidate power cap used by the coarse localization score, as a
+    #: multiple of the hypothesis's R_f.  A pristine tone measures ≈ R_f;
+    #: anything far above it is off-hypothesis content.
+    LOCALIZATION_CAP = 1.2
+
+    #: Near-peak tolerance for the onset pick.  The channel's dispersion
+    #: tail extends a signal's effective duration, so windows starting up
+    #: to ~tail samples after the true arrival can score within a hair of
+    #: the maximum (a flat plateau — worst for single-tone references,
+    #: whose interior windows still hold a full-length sine).  The
+    #: physical arrival is the plateau's *left edge*, so the detector
+    #: reports the earliest window within this fraction of the peak.  The
+    #: small systematic early bias this introduces is identical for all
+    #: four detections of a round and cancels in Eq. 3.
+    PLATEAU_TOLERANCE = 0.003
+
+    def _onset_location(
+        self, starts: np.ndarray, scores: np.ndarray, peak: float
+    ) -> int:
+        """Earliest start scoring within PLATEAU_TOLERANCE of the peak."""
+        if not np.isfinite(peak) or peak <= 0:
+            return int(starts[int(np.argmax(scores))])
+        near_peak = scores >= peak * (1.0 - self.PLATEAU_TOLERANCE)
+        return int(starts[np.nonzero(near_peak)[0][0]])
+
+    def localization_scores(
+        self, candidate_powers: np.ndarray, hypothesis: SignalHypothesis
+    ) -> np.ndarray:
+        """Robust coarse-pass score: capped in-band sum with the β gate.
+
+        Identical to Algorithm 2 except that (a) the α floor is skipped
+        (misaligned coarse windows legitimately lose power) and (b) each
+        in-band candidate contributes at most ``LOCALIZATION_CAP · R_f``.
+        Only used to choose where the fine pass looks; never for the final
+        accept/⊥ decision.
+        """
+        mask = hypothesis.member_mask
+        in_band = np.minimum(
+            candidate_powers[:, mask],
+            self.LOCALIZATION_CAP * hypothesis.tone_power,
+        )
+        out_band = candidate_powers[:, ~mask]
+        scores = in_band.sum(axis=1) - out_band.sum(axis=1)
+        if out_band.shape[1]:
+            passes = (out_band < hypothesis.beta).all(axis=1)
+            scores = np.where(passes, scores, -np.inf)
+        return scores
+
+    def _mask_zones(
+        self,
+        scores: np.ndarray,
+        starts: np.ndarray,
+        zones: Sequence[tuple[int, int]],
+    ) -> np.ndarray:
+        """Set scores of windows overlapping any exclusion zone to −inf."""
+        if not zones:
+            return scores
+        length = self.config.signal_length
+        masked = scores.copy()
+        for lo, hi in zones:
+            overlap = (starts < hi) & (starts + length > lo)
+            masked[overlap] = -np.inf
+        return masked
+
+    def detect_single(
+        self, recording: np.ndarray, reference: ReferenceSignal, label: str = "S"
+    ) -> DetectionResult:
+        """Convenience wrapper for locating one signal."""
+        return self.detect(recording, [reference], [label])[0]
+
+    def scan_profile(
+        self, recording: np.ndarray, reference: ReferenceSignal, step: int = 10
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Full normalized-power profile at a fixed step (for diagnostics).
+
+        Returns ``(starts, scores)``; useful for plotting the detection
+        landscape in the examples and for asserting peak sharpness in tests.
+        """
+        recording = np.asarray(recording, dtype=np.float64)
+        starts = window_starts(
+            recording.shape[0], self.config.signal_length, step
+        )
+        powers = self.candidate_powers(recording, starts)
+        hypothesis = SignalHypothesis.from_reference(reference, self.plan)
+        return starts, self.normalized_powers(powers, hypothesis)

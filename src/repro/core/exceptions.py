@@ -1,0 +1,45 @@
+"""Error taxonomy for the PIANO reproduction.
+
+All library-raised exceptions derive from :class:`PianoError` so callers can
+catch reproduction-specific failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PianoError",
+    "ConfigurationError",
+    "ProtocolError",
+    "PairingError",
+    "ChannelSecurityError",
+    "SignalNotPresentError",
+]
+
+
+class PianoError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(PianoError, ValueError):
+    """An invalid :class:`~repro.core.config.ProtocolConfig` or related setting."""
+
+
+class ProtocolError(PianoError, RuntimeError):
+    """A violation of the ACTION/PIANO message flow."""
+
+
+class PairingError(ProtocolError):
+    """Bluetooth pairing is absent, expired, or out of range."""
+
+
+class ChannelSecurityError(ProtocolError):
+    """Secure-channel authentication failed (tampered or forged message)."""
+
+
+class SignalNotPresentError(PianoError):
+    """A reference signal was declared not-present (the paper's ⊥ outcome).
+
+    The protocol normally converts ⊥ into a *deny* decision rather than an
+    exception; this error exists for direct detector users who prefer
+    exception-style control flow.
+    """

@@ -1,0 +1,130 @@
+"""The candidate-frequency plan F_R (§IV-B, §VI-A).
+
+The paper discretizes the 25–35 kHz band into N = 30 equal bins and takes
+each bin's center as a candidate frequency.  Reference signals are random
+subsets of these candidates; the detector aggregates FFT power over ±θ bins
+around each candidate's FFT index ``⌊f/fs·|W|⌋``.
+
+This module precomputes everything the detector needs per configuration:
+candidate frequencies, their FFT bin indices, and the (N × (2θ+1)) gather
+matrix of aggregation bins — so the per-window work reduces to one FFT and
+one fancy-indexing sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.exceptions import ConfigurationError
+from repro.dsp.fft import bin_of_frequency
+
+__all__ = ["FrequencyPlan", "build_frequency_plan"]
+
+
+@dataclass(frozen=True)
+class FrequencyPlan:
+    """Precomputed candidate-frequency bookkeeping for one configuration.
+
+    Attributes
+    ----------
+    config:
+        The protocol configuration this plan was built from.
+    frequencies:
+        The N candidate frequencies in Hz (bin centers, ascending).
+    fft_bins:
+        FFT index of each candidate under the paper's mapping
+        ``⌊f/fs·|W|⌋`` for windows of ``config.signal_length`` samples.
+    aggregation_bins:
+        Shape ``(N, 2θ+1)`` matrix; row ``i`` lists the FFT bins whose power
+        is summed to measure candidate ``i`` (Algorithm 2, line 5).
+    """
+
+    config: ProtocolConfig
+    frequencies: np.ndarray
+    fft_bins: np.ndarray
+    aggregation_bins: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("frequencies", "fft_bins", "aggregation_bins"):
+            array = np.asarray(getattr(self, name))
+            array.setflags(write=False)
+            object.__setattr__(self, name, array)
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.frequencies.size)
+
+    @property
+    def bin_width_hz(self) -> float:
+        """Width of one candidate bin in Hz."""
+        cfg = self.config
+        return (cfg.band_high - cfg.band_low) / cfg.n_candidates
+
+    def index_of_frequency(self, frequency: float) -> int:
+        """Candidate index of an exact candidate frequency."""
+        matches = np.nonzero(np.isclose(self.frequencies, frequency))[0]
+        if matches.size != 1:
+            raise ConfigurationError(
+                f"{frequency} Hz is not one of the {self.n_candidates} "
+                "candidate frequencies"
+            )
+        return int(matches[0])
+
+    def candidate_powers(self, power_spectrum: np.ndarray) -> np.ndarray:
+        """Aggregate a window's power spectrum into per-candidate powers.
+
+        ``power_spectrum`` must come from a window of ``signal_length``
+        samples.  Returns a length-N vector: Algorithm 2's ``P_f`` for every
+        candidate at once (the detector evaluates multiple reference signals
+        against the same vector — the one-scan optimization of §VI-A).
+        """
+        if power_spectrum.shape[0] != self.config.signal_length:
+            raise ValueError(
+                f"power spectrum of length {power_spectrum.shape[0]} does not "
+                f"match signal_length {self.config.signal_length}"
+            )
+        return power_spectrum[self.aggregation_bins].sum(axis=1)
+
+    def member_mask(self, candidate_indices: np.ndarray) -> np.ndarray:
+        """Boolean mask of length N with ``True`` at the given candidates."""
+        mask = np.zeros(self.n_candidates, dtype=bool)
+        mask[np.asarray(candidate_indices, dtype=np.intp)] = True
+        return mask
+
+
+def _candidate_frequencies(config: ProtocolConfig) -> np.ndarray:
+    """Centers of N equal bins spanning the configured band (§VI-A)."""
+    width = (config.band_high - config.band_low) / config.n_candidates
+    centers = config.band_low + width * (np.arange(config.n_candidates) + 0.5)
+    return centers
+
+
+@lru_cache(maxsize=32)
+def _build_cached(config: ProtocolConfig) -> FrequencyPlan:
+    frequencies = _candidate_frequencies(config)
+    n_fft = config.signal_length
+    fft_bins = np.array(
+        [bin_of_frequency(f, config.sample_rate, n_fft) for f in frequencies],
+        dtype=np.int64,
+    )
+    offsets = np.arange(-config.theta, config.theta + 1, dtype=np.int64)
+    aggregation = (fft_bins[:, None] + offsets[None, :]) % n_fft
+    return FrequencyPlan(
+        config=config,
+        frequencies=frequencies,
+        fft_bins=fft_bins,
+        aggregation_bins=aggregation,
+    )
+
+
+def build_frequency_plan(config: ProtocolConfig) -> FrequencyPlan:
+    """Build (or fetch a cached) :class:`FrequencyPlan` for ``config``.
+
+    Plans are immutable and safe to share; the cache avoids recomputing the
+    gather matrix for the thousands of sessions an experiment runs.
+    """
+    return _build_cached(config)

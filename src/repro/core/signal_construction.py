@@ -1,0 +1,134 @@
+"""Step I — frequency-domain randomized reference signals (§IV-B).
+
+To construct a reference signal the paper samples a tone count
+``n`` (0 < n < N), selects ``n`` candidate frequencies uniformly at random,
+synthesizes a sine per frequency with power ``R_f = (32000/n)²`` (amplitude
+``32000/n``), and sums them.  Randomizing in the *frequency domain* — rather
+than the time domain — is what keeps detection accurate under background
+noise while still defeating replay attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.frequencies import FrequencyPlan, build_frequency_plan
+from repro.dsp.sine import synthesize_tone_sum
+
+__all__ = ["ReferenceSignal", "construct_reference_signal", "signal_from_indices"]
+
+
+@dataclass(frozen=True)
+class ReferenceSignal:
+    """A realized reference signal plus the detector-side metadata.
+
+    The protocol transmits this object (conceptually: the frequency subset
+    and phases) over the secure Bluetooth channel; both devices can then
+    synthesize the waveform and parameterize the detector.
+
+    Attributes
+    ----------
+    candidate_indices:
+        Sorted indices into the plan's candidate list — the set F of §IV.
+    samples:
+        The synthesized waveform, ``signal_length`` float samples whose
+        values lie on the 16-bit grid after playback quantization.
+    tone_power:
+        Per-frequency power R_f (identical for all tones by construction).
+    """
+
+    candidate_indices: np.ndarray
+    samples: np.ndarray
+    tone_power: float
+    config: ProtocolConfig
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.candidate_indices, dtype=np.int64)
+        samples = np.asarray(self.samples, dtype=np.float64)
+        indices.setflags(write=False)
+        samples.setflags(write=False)
+        object.__setattr__(self, "candidate_indices", indices)
+        object.__setattr__(self, "samples", samples)
+
+    @property
+    def n_tones(self) -> int:
+        """Number of tones n in this signal."""
+        return int(self.candidate_indices.size)
+
+    @property
+    def total_power(self) -> float:
+        """R_S = Σ_f R_f (Algorithm 1, line 11)."""
+        return self.tone_power * self.n_tones
+
+    @property
+    def beta(self) -> float:
+        """This signal's out-of-band ceiling β = β_frac · R_f."""
+        return self.config.beta_fraction * self.tone_power
+
+    def frequencies(self, plan: FrequencyPlan | None = None) -> np.ndarray:
+        """The tone frequencies in Hz."""
+        plan = plan or build_frequency_plan(self.config)
+        return plan.frequencies[self.candidate_indices]
+
+    def same_frequencies(self, other: "ReferenceSignal") -> bool:
+        """Whether two signals use the identical frequency subset."""
+        return bool(
+            self.candidate_indices.size == other.candidate_indices.size
+            and np.array_equal(self.candidate_indices, other.candidate_indices)
+        )
+
+
+def signal_from_indices(
+    candidate_indices: np.ndarray | list[int],
+    config: ProtocolConfig,
+    phases: np.ndarray | None = None,
+) -> ReferenceSignal:
+    """Synthesize a reference signal from an explicit frequency subset.
+
+    Used by the legitimate constructor below, by the replay attacker (who
+    guesses subsets), and by tests that need deterministic signals.
+    """
+    indices = np.unique(np.asarray(candidate_indices, dtype=np.int64))
+    if indices.size != np.asarray(candidate_indices).size:
+        raise ConfigurationError("candidate indices must be distinct")
+    if indices.size == 0:
+        raise ConfigurationError("a reference signal needs at least one tone")
+    plan = build_frequency_plan(config)
+    if indices[0] < 0 or indices[-1] >= plan.n_candidates:
+        raise ConfigurationError(
+            f"candidate indices must lie in [0, {plan.n_candidates})"
+        )
+    n = int(indices.size)
+    amplitude = config.reference_peak / n
+    samples = synthesize_tone_sum(
+        frequencies=plan.frequencies[indices],
+        amplitudes=np.full(n, amplitude),
+        n_samples=config.signal_length,
+        sample_rate=config.sample_rate,
+        phases=phases,
+    )
+    return ReferenceSignal(
+        candidate_indices=indices,
+        samples=samples,
+        tone_power=amplitude**2,
+        config=config,
+    )
+
+
+def construct_reference_signal(
+    config: ProtocolConfig, rng: np.random.Generator
+) -> ReferenceSignal:
+    """Step I of ACTION: draw a fresh randomized reference signal.
+
+    Sampling follows §IV-B: first an integer ``n`` uniform over the
+    admissible tone counts, then an ``n``-subset of the candidates uniformly
+    at random.  Every authentication run draws new randomness — that is the
+    defence against replay (§V).
+    """
+    n = int(rng.integers(config.min_tones, config.max_tones + 1))
+    indices = rng.choice(config.n_candidates, size=n, replace=False)
+    return signal_from_indices(np.sort(indices), config)

@@ -1,0 +1,1 @@
+"""devices subpackage of the PIANO reproduction."""

@@ -1,0 +1,121 @@
+"""Speaker and microphone hardware models.
+
+The paper's detector explicitly budgets for hardware effects: α absorbs
+play/record attenuation, θ absorbs frequency smoothing.  The models here
+supply those effects:
+
+* **gain** — the end-to-end electro-acoustic efficiency of the transducer;
+* **response ripple** — per-device random ±dB variation across the
+  candidate band (cheap phone transducers are far from flat at 25–35 kHz);
+* **self-noise** — the microphone's additive noise floor;
+* **self-path gap** — the physical speaker-to-microphone distance on the
+  device's own body, which delays a device's *own* signal by a fraction of
+  a millisecond and slightly biases Eq. 3 (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SpeakerSpec", "MicrophoneSpec", "ResponseRipple"]
+
+
+@dataclass(frozen=True)
+class ResponseRipple:
+    """Random per-device multiplicative gain per candidate frequency.
+
+    Realized once per device (a physical property), applied as a diagonal
+    gain across the candidate tones of any played or captured signal.
+    """
+
+    gains: np.ndarray
+
+    def __post_init__(self) -> None:
+        gains = np.asarray(self.gains, dtype=np.float64)
+        if gains.ndim != 1 or gains.size == 0:
+            raise ValueError("ripple gains must be a non-empty 1-D array")
+        if (gains <= 0).any():
+            raise ValueError("ripple gains must be positive")
+        gains.setflags(write=False)
+        object.__setattr__(self, "gains", gains)
+
+    @staticmethod
+    def flat(n_candidates: int) -> "ResponseRipple":
+        return ResponseRipple(np.ones(n_candidates))
+
+    @staticmethod
+    def random(
+        rng: np.random.Generator, n_candidates: int, ripple_db: float = 1.5
+    ) -> "ResponseRipple":
+        """Draw a ripple with per-frequency deviations within ±ripple_db."""
+        db = rng.uniform(-ripple_db, ripple_db, size=n_candidates)
+        return ResponseRipple(10.0 ** (db / 20.0))
+
+    def gain_at(self, candidate_index: int) -> float:
+        return float(self.gains[candidate_index])
+
+
+@dataclass(frozen=True)
+class SpeakerSpec:
+    """A device speaker.
+
+    Attributes
+    ----------
+    gain:
+        Linear output efficiency (1.0 = ideal).  The product of speaker and
+        microphone gains, together with propagation loss, is what the
+        detector's α = 1 % tolerance absorbs.
+    self_gap_m:
+        Distance from this speaker to the same device's microphone.
+    max_output:
+        Hard output ceiling in sample units (driver clipping).
+    """
+
+    gain: float = 0.92
+    self_gap_m: float = 0.02
+    max_output: float = 32_767.0
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ValueError(f"speaker gain must be positive, got {self.gain}")
+        if self.self_gap_m < 0:
+            raise ValueError("self_gap_m must be non-negative")
+
+    def radiate(self, samples: np.ndarray) -> np.ndarray:
+        """Convert digital samples to the radiated waveform (clipped)."""
+        driven = self.gain * np.asarray(samples, dtype=np.float64)
+        return np.clip(driven, -self.max_output, self.max_output)
+
+
+@dataclass(frozen=True)
+class MicrophoneSpec:
+    """A device microphone.
+
+    Attributes
+    ----------
+    gain:
+        Linear capture efficiency.
+    self_noise_std:
+        Standard deviation of the mic's own additive noise, in sample
+        units (tens of counts for phone-class hardware).
+    """
+
+    gain: float = 0.95
+    self_noise_std: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ValueError(f"microphone gain must be positive, got {self.gain}")
+        if self.self_noise_std < 0:
+            raise ValueError("self_noise_std must be non-negative")
+
+    def capture_gain(self) -> float:
+        return self.gain
+
+    def self_noise(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """Additive microphone noise for a buffer of ``n_samples``."""
+        if self.self_noise_std == 0:
+            return np.zeros(n_samples)
+        return rng.normal(0.0, self.self_noise_std, size=n_samples)

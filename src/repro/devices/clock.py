@@ -1,0 +1,76 @@
+"""Unsynchronized device clocks (the two "time coordinates" of §IV-C/D).
+
+Each device timestamps events on its own clock: an unknown offset from world
+time (phones are routinely seconds-to-minutes apart) plus a crystal skew of
+a few tens of ppm that stretches its sampling grid.  Equation 3 is valuable
+precisely because these never need to be estimated; the substrate models
+them so the tests can *demonstrate* the cancellation rather than assume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceClock"]
+
+
+@dataclass(frozen=True)
+class DeviceClock:
+    """An affine local clock: ``local = offset + world·(1 + skew·1e-6)``.
+
+    Attributes
+    ----------
+    offset_s:
+        Local-clock reading at world time 0 (unknown to the protocol).
+    skew_ppm:
+        Rate error in parts-per-million.  Positive means the device's
+        oscillator (and therefore its ADC/DAC) runs fast.
+    nominal_sample_rate:
+        The sample rate the device *believes* it uses (f_A / f_V in Eq. 3).
+    """
+
+    offset_s: float = 0.0
+    skew_ppm: float = 0.0
+    nominal_sample_rate: float = 44_100.0
+
+    @property
+    def rate_factor(self) -> float:
+        """``1 + skew·1e-6`` — local seconds per world second."""
+        return 1.0 + self.skew_ppm * 1e-6
+
+    @property
+    def true_sample_rate(self) -> float:
+        """Physical samples per *world* second emitted by the ADC."""
+        return self.nominal_sample_rate * self.rate_factor
+
+    def local_from_world(self, world_time: float) -> float:
+        """Local-clock reading at a given world time."""
+        return self.offset_s + world_time * self.rate_factor
+
+    def world_from_local(self, local_time: float) -> float:
+        """World time at a given local-clock reading."""
+        return (local_time - self.offset_s) / self.rate_factor
+
+    def sample_index(self, world_event: float, world_record_start: float) -> float:
+        """Fractional buffer index of a world event in a recording.
+
+        The ADC ticks at the *true* rate, so an event ``Δt`` world-seconds
+        into the recording lands at index ``Δt·true_sample_rate``.
+        """
+        return (world_event - world_record_start) * self.true_sample_rate
+
+    @staticmethod
+    def random(
+        rng: np.random.Generator,
+        max_offset_s: float = 600.0,
+        skew_std_ppm: float = 15.0,
+        nominal_sample_rate: float = 44_100.0,
+    ) -> "DeviceClock":
+        """Draw a realistic random clock (offset up to minutes, ppm skew)."""
+        return DeviceClock(
+            offset_s=float(rng.uniform(0.0, max_offset_s)),
+            skew_ppm=float(rng.normal(0.0, skew_std_ppm)),
+            nominal_sample_rate=nominal_sample_rate,
+        )

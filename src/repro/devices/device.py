@@ -1,0 +1,148 @@
+"""The simulated device — the unit both PIANO roles run on.
+
+A :class:`Device` bundles everything a voice-powered IoT endpoint brings to
+the protocol: a position in the world, a speaker, a microphone, an
+unsynchronized clock, an OS audio path with unpredictable latency, a
+battery, and a per-device random stream for its hardware realization.
+
+Devices are role-agnostic: the same object can act as the authenticating or
+the vouching device (§IV notes a smartwatch may vouch for a phone or vice
+versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.audio import MicrophoneSpec, ResponseRipple, SpeakerSpec
+from repro.devices.battery import BatteryModel
+from repro.devices.clock import DeviceClock
+from repro.sim.geometry import Point
+from repro.sim.rng import RngFactory
+
+__all__ = ["OsAudioPath", "Device"]
+
+
+@dataclass(frozen=True)
+class OsAudioPath:
+    """The operating system's audio-path latency model.
+
+    The paper's Echo analysis hinges on this: "there is an unpredictable
+    delay between the API to play acoustic signal is called and the signal
+    is actually played" (§VI-B3).  ACTION is immune because Eq. 3 never uses
+    absolute play times; Echo-Secure is destroyed by it.
+
+    Attributes
+    ----------
+    playback_latency_range:
+        Uniform bounds (seconds) on the delay between the play() call and
+        sound leaving the speaker.
+    record_latency_range:
+        Uniform bounds (seconds) on the delay between the record() call and
+        the first captured sample.
+    """
+
+    playback_latency_range: tuple[float, float] = (0.015, 0.120)
+    record_latency_range: tuple[float, float] = (0.005, 0.060)
+
+    def __post_init__(self) -> None:
+        for name in ("playback_latency_range", "record_latency_range"):
+            lo, hi = getattr(self, name)
+            if not 0 <= lo <= hi:
+                raise ValueError(f"{name} must satisfy 0 <= lo <= hi, got {lo, hi}")
+
+    def draw_playback_latency(self, rng: np.random.Generator) -> float:
+        lo, hi = self.playback_latency_range
+        return float(rng.uniform(lo, hi))
+
+    def draw_record_latency(self, rng: np.random.Generator) -> float:
+        lo, hi = self.record_latency_range
+        return float(rng.uniform(lo, hi))
+
+    @property
+    def mean_playback_latency(self) -> float:
+        lo, hi = self.playback_latency_range
+        return 0.5 * (lo + hi)
+
+
+@dataclass
+class Device:
+    """A simulated voice-powered IoT device.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a world (also used for RNG derivation).
+    position:
+        Location in the plane, meters.
+    clock:
+        The device's local clock (offset + skew).
+    speaker, microphone:
+        Transducer hardware.
+    ripple:
+        Per-device frequency-response ripple over the candidate band
+        (``None`` = flat response).
+    os_audio:
+        OS audio-path latency model.
+    battery:
+        Energy store; the PIANO layer drains it per authentication.
+    """
+
+    name: str
+    position: Point
+    clock: DeviceClock = field(default_factory=DeviceClock)
+    speaker: SpeakerSpec = field(default_factory=SpeakerSpec)
+    microphone: MicrophoneSpec = field(default_factory=MicrophoneSpec)
+    ripple: ResponseRipple | None = None
+    os_audio: OsAudioPath = field(default_factory=OsAudioPath)
+    battery: BatteryModel = field(default_factory=BatteryModel)
+
+    def distance_to(self, other: "Device") -> float:
+        """Euclidean distance to another device, meters."""
+        return self.position.distance_to(other.position)
+
+    def move_to(self, position: Point) -> None:
+        """Relocate the device (the user walks away / returns)."""
+        self.position = position
+
+    @property
+    def sample_rate(self) -> float:
+        """The nominal sampling frequency this device reports (f_A / f_V)."""
+        return self.clock.nominal_sample_rate
+
+    @staticmethod
+    def random(
+        name: str,
+        position: Point,
+        rngs: RngFactory,
+        n_candidates: int = 30,
+        nominal_sample_rate: float = 44_100.0,
+        ripple_db: float = 1.0,
+    ) -> "Device":
+        """Create a device with a random hardware realization.
+
+        The realization (clock offset/skew, transducer gains, response
+        ripple) is derived from the factory's *fixed* stream for this device
+        name, so the same world seed always builds the same hardware.
+        """
+        rng = rngs.fixed_generator(f"device:{name}")
+        clock = DeviceClock.random(rng, nominal_sample_rate=nominal_sample_rate)
+        speaker = SpeakerSpec(
+            gain=float(rng.uniform(0.90, 0.99)),
+            self_gap_m=float(rng.uniform(0.012, 0.035)),
+        )
+        microphone = MicrophoneSpec(
+            gain=float(rng.uniform(0.90, 0.99)),
+            self_noise_std=float(rng.uniform(8.0, 18.0)),
+        )
+        ripple = ResponseRipple.random(rng, n_candidates, ripple_db=ripple_db)
+        return Device(
+            name=name,
+            position=position,
+            clock=clock,
+            speaker=speaker,
+            microphone=microphone,
+            ripple=ripple,
+        )

@@ -1,0 +1,1 @@
+"""dsp subpackage of the PIANO reproduction."""

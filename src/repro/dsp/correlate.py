@@ -1,0 +1,75 @@
+"""Cross-correlation detection — the baseline PIANO improves upon.
+
+BeepBeep (and the paper's ACTION-CC ablation) locate a known reference
+signal in a recording by maximizing the normalized cross-correlation.  The
+paper shows this collapses for frequency-domain randomized references
+because the played-and-recorded waveform is a phase-scrambled version of the
+original ("frequency smoothing", §IV-C).  We implement the textbook detector
+faithfully so the collapse can be measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cross_correlation", "normalized_cross_correlation", "best_alignment"]
+
+
+def cross_correlation(recording: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Raw sliding dot products of ``reference`` against ``recording``.
+
+    Returns an array ``c`` with ``c[i] = Σ_j recording[i+j]·reference[j]``
+    for every admissible start ``i`` (valid mode), computed via FFT for
+    speed.
+    """
+    recording = np.asarray(recording, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if reference.size == 0:
+        raise ValueError("reference must be non-empty")
+    if recording.size < reference.size:
+        raise ValueError(
+            f"recording (length {recording.size}) shorter than reference "
+            f"(length {reference.size})"
+        )
+    # scipy.signal.fftconvolve semantics without importing scipy here:
+    # correlation = convolution with the reversed reference.
+    n = recording.size + reference.size - 1
+    n_fft = 1 << (n - 1).bit_length()
+    spec = np.fft.rfft(recording, n_fft) * np.conj(np.fft.rfft(reference, n_fft))
+    full = np.fft.irfft(spec, n_fft)
+    return full[: recording.size - reference.size + 1]
+
+
+def normalized_cross_correlation(
+    recording: np.ndarray, reference: np.ndarray, epsilon: float = 1e-12
+) -> np.ndarray:
+    """Cross-correlation normalized by local window energy.
+
+    ``ncc[i] = c[i] / (‖recording[i:i+L]‖ · ‖reference‖)`` — the standard
+    template-matching score in [−1, 1].  Normalization keeps loud unrelated
+    content (e.g., the device's own louder signal) from dominating the scan.
+    """
+    recording = np.asarray(recording, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    raw = cross_correlation(recording, reference)
+    ref_norm = float(np.linalg.norm(reference))
+    # Rolling energy of the recording windows via cumulative sums.
+    squared = np.concatenate(([0.0], np.cumsum(recording**2)))
+    length = reference.size
+    window_energy = squared[length:] - squared[: squared.size - length]
+    window_norm = np.sqrt(np.maximum(window_energy, 0.0))
+    scores = raw / (window_norm * ref_norm + epsilon)
+    # A window with (numerically) zero energy carries no evidence; without
+    # this guard, FFT round-off noise divided by ~epsilon would produce
+    # astronomically large scores on silent stretches.
+    peak_norm = float(window_norm.max(initial=0.0))
+    silent = window_norm <= 1e-9 * max(peak_norm, 1.0)
+    scores[silent] = 0.0
+    return scores
+
+
+def best_alignment(recording: np.ndarray, reference: np.ndarray) -> tuple[int, float]:
+    """Location and score of the best normalized-correlation alignment."""
+    ncc = normalized_cross_correlation(recording, reference)
+    index = int(np.argmax(ncc))
+    return index, float(ncc[index])

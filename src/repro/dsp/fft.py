@@ -1,0 +1,88 @@
+"""FFT power-spectrum helpers with the PIANO amplitude-squared convention.
+
+The paper sets each reference tone's power to ``R_f = (32000/n)**2`` — the
+*square of the time-domain amplitude*.  For the detector's comparisons
+(``P_f > α·R_f``) to be meaningful, the power spectrum must be normalized so
+that a pure sine of amplitude ``A`` contributes ``≈ A²`` when its energy is
+aggregated over neighbouring bins.  With an N-point FFT, a bin-centered sine
+of amplitude ``A`` has ``|Y[k]| = A·N/2`` at its two mirrored bins, so we use
+
+    P[k] = (2·|Y[k]| / N)²
+
+which yields ``P[k0] ≈ A²`` at each of the mirrored peaks.  Off-bin tones
+leak into neighbours; the detector recovers the total via the ±θ aggregation
+of Algorithm 2 (see :mod:`repro.core.spectrum`).
+
+The candidate frequencies of the paper (25–35 kHz at fs = 44.1 kHz) live in
+the *upper* half of the FFT — above Nyquist — so this module works with the
+full (two-sided) spectrum rather than ``rfft``.  See DESIGN.md §3 for the
+aliasing discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "power_spectrum",
+    "amplitude_spectrum",
+    "bin_of_frequency",
+    "frequency_of_bin",
+    "total_power",
+]
+
+
+def power_spectrum(window: np.ndarray) -> np.ndarray:
+    """Two-sided power spectrum with the amplitude-squared normalization.
+
+    Parameters
+    ----------
+    window:
+        Real-valued signal window of length ``N``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``N`` array ``P`` with ``P[k] = (2·|FFT(window)[k]|/N)²``.
+        For a bin-centered sine of amplitude ``A``, ``P`` peaks at ``A²`` at
+        bins ``k0`` and ``N-k0``.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 1:
+        raise ValueError(f"expected 1-D window, got shape {window.shape}")
+    n = window.shape[0]
+    if n == 0:
+        raise ValueError("cannot compute the power spectrum of an empty window")
+    spectrum = np.fft.fft(window)
+    return np.square(2.0 * np.abs(spectrum) / n)
+
+
+def amplitude_spectrum(window: np.ndarray) -> np.ndarray:
+    """Two-sided amplitude spectrum (square root of :func:`power_spectrum`)."""
+    return np.sqrt(power_spectrum(window))
+
+
+def bin_of_frequency(frequency: float, sample_rate: float, n_fft: int) -> int:
+    """The paper's bin mapping ``i = ⌊f/fs·|W|⌋`` (Algorithm 2, line 4).
+
+    Frequencies above Nyquist map into the mirrored upper half of the FFT,
+    exactly where a digitally synthesized above-Nyquist sine shows up.
+    """
+    if not 0 <= frequency < sample_rate:
+        raise ValueError(
+            f"frequency {frequency} Hz outside [0, fs={sample_rate}) Hz; "
+            "the discrete-time mapping is only defined inside one period"
+        )
+    return int(np.floor(frequency / sample_rate * n_fft))
+
+
+def frequency_of_bin(bin_index: int, sample_rate: float, n_fft: int) -> float:
+    """Center frequency of FFT bin ``bin_index`` (inverse of the mapping)."""
+    if not 0 <= bin_index < n_fft:
+        raise ValueError(f"bin {bin_index} outside [0, {n_fft})")
+    return bin_index * sample_rate / n_fft
+
+
+def total_power(window: np.ndarray) -> float:
+    """Sum of the normalized power spectrum (Parseval, up to normalization)."""
+    return float(np.sum(power_spectrum(window)))

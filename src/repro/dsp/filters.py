@@ -1,0 +1,211 @@
+"""FIR channel filters — the physical cause of *frequency smoothing*.
+
+The paper's pivotal observation is that after a reference signal is played by
+one device and recorded by another, "the power of a frequency component …
+is distributed to nearby frequencies" and the waveform changes so much in
+the time domain that cross-correlation fails (§IV-C, §VI-B3).
+
+Physically this is the concatenation of the speaker response, the short
+multipath of the room, and the microphone response — a short, random,
+per-session impulse response.  We model it as:
+
+* a **dominant direct tap** (the line-of-sight arrival, always first), plus
+* a handful of **decaying random reflection taps** spread over at most a few
+  hundred microseconds, plus
+* a gentle random **spectral ripple** across the candidate band.
+
+The dominant first tap keeps the *energy envelope* anchored at the true
+arrival time (so the frequency-domain detector stays accurate), while the
+random reflection phases scramble the waveform enough that time-domain
+matched filtering (ACTION-CC) collapses — exactly the paper's Fig 2b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ChannelFilter",
+    "random_channel_filter",
+    "random_dispersive_channel",
+    "apply_fir",
+]
+
+
+def apply_fir(signal: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Convolve ``signal`` with ``taps``, keeping "full" length.
+
+    The output has length ``len(signal) + len(taps) − 1``; the extra tail is
+    the reverberation that spills past the nominal signal end.  Callers that
+    need same-length output slice the result themselves.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    taps = np.asarray(taps, dtype=np.float64)
+    if taps.ndim != 1 or taps.size == 0:
+        raise ValueError("taps must be a non-empty 1-D array")
+    return np.convolve(signal, taps)
+
+
+@dataclass(frozen=True)
+class ChannelFilter:
+    """A realized acoustic channel as an FIR filter.
+
+    Attributes
+    ----------
+    taps:
+        FIR taps.  For the sparse-reflection model ``taps[0]`` is the
+        unit direct path; for the dispersive model the energy is spread
+        over the first tens of taps with near-unit total energy.  The
+        distance-dependent gain is applied separately by the propagation
+        model, keeping the two effects independently testable.
+    """
+
+    taps: np.ndarray
+
+    def __post_init__(self) -> None:
+        taps = np.asarray(self.taps, dtype=np.float64)
+        if taps.ndim != 1 or taps.size == 0:
+            raise ValueError("ChannelFilter requires non-empty 1-D taps")
+        object.__setattr__(self, "taps", taps)
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        """Filter ``signal`` through the channel (full-length output)."""
+        return apply_fir(signal, self.taps)
+
+    @property
+    def length(self) -> int:
+        return int(self.taps.size)
+
+    @property
+    def echo_energy_ratio(self) -> float:
+        """Energy in the reflection taps relative to the direct tap."""
+        direct = self.taps[0] ** 2
+        echoes = float(np.sum(self.taps[1:] ** 2))
+        return echoes / direct if direct > 0 else float("inf")
+
+
+def random_channel_filter(
+    rng: np.random.Generator,
+    n_reflections: int = 6,
+    max_spread_samples: int = 24,
+    reflection_strength: float = 0.45,
+    decay: float = 0.55,
+) -> ChannelFilter:
+    """Draw a random short acoustic channel.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (one realization per ranging session).
+    n_reflections:
+        Number of random reflection taps after the direct path.
+    max_spread_samples:
+        Largest reflection delay, in samples (24 samples ≈ 0.54 ms at
+        44.1 kHz ≈ 19 cm of extra path — desk/room scale).
+    reflection_strength:
+        Amplitude of the first reflection relative to the direct path.
+    decay:
+        Geometric decay of successive reflection amplitudes.
+
+    Notes
+    -----
+    The reflections carry random signs and uniform random sub-delays, which
+    is what scrambles time-domain phase coherence.  The direct tap is pinned
+    to exactly 1.0.
+    """
+    if n_reflections < 0:
+        raise ValueError(f"n_reflections must be non-negative, got {n_reflections}")
+    if max_spread_samples < 1:
+        raise ValueError(
+            f"max_spread_samples must be at least 1, got {max_spread_samples}"
+        )
+    if not 0 <= reflection_strength:
+        raise ValueError("reflection_strength must be non-negative")
+    taps = np.zeros(max_spread_samples + 1, dtype=np.float64)
+    taps[0] = 1.0
+    if n_reflections > 0:
+        delays = np.sort(
+            rng.integers(1, max_spread_samples + 1, size=n_reflections)
+        )
+        amplitude = reflection_strength
+        for delay in delays:
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            taps[int(delay)] += sign * amplitude * rng.uniform(0.5, 1.0)
+            amplitude *= decay
+    return ChannelFilter(taps=taps)
+
+
+def random_dispersive_channel(
+    rng: np.random.Generator,
+    max_group_delay: int = 40,
+    ripple_db: float = 1.2,
+    n_control_points: int = 12,
+    design_size: int = 4096,
+    tail_samples: int = 96,
+) -> ChannelFilter:
+    """Draw a random dispersive (allpass-like) acoustic channel.
+
+    This is the model behind the paper's *frequency smoothing*: phone
+    transducers driven at 25–35 kHz — far above their design band — exhibit
+    wild phase dispersion around their resonances, so every tone of a
+    reference signal arrives with an essentially random phase and a small
+    frequency-dependent delay.  Band power survives (the frequency-based
+    detector works); time-domain waveform coherence does not (matched-
+    filter/cross-correlation detection collapses — the ACTION-CC ablation).
+
+    Construction: a smooth random group-delay curve τ(f) ∈ [0,
+    ``max_group_delay``] samples (linear interpolation through uniform
+    control points) is integrated into a phase response; a smooth random
+    magnitude ripple within ±``ripple_db`` is applied on top; the FIR taps
+    come from the inverse FFT, truncated past the group-delay support.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (one realization per transducer pair per
+        session).
+    max_group_delay:
+        Upper bound of the group-delay curve, in samples.  This is the
+        main dispersion-severity knob (and a distance-error source: the
+        per-session random energy-centroid shift is bounded by it).
+    ripple_db:
+        Bound on the magnitude ripple — kept small so the per-tone α
+        sanity check keeps its attenuation budget.
+    n_control_points:
+        Number of random control points of the group-delay curve.
+    design_size:
+        FFT grid used for frequency sampling.
+    tail_samples:
+        Extra taps kept past ``max_group_delay`` for the decaying tail.
+    """
+    if max_group_delay < 0:
+        raise ValueError("max_group_delay must be non-negative")
+    if n_control_points < 2:
+        raise ValueError("need at least two control points")
+    if design_size < 64 or design_size & (design_size - 1):
+        raise ValueError("design_size must be a power of two >= 64")
+    half = design_size // 2
+    # Smooth random group delay over the positive-frequency half grid.
+    anchors = np.linspace(0, half, n_control_points)
+    values = rng.uniform(0.0, float(max_group_delay), size=n_control_points)
+    group_delay = np.interp(np.arange(half + 1), anchors, values)
+    # φ[k] = −2π/N · Σ_{j≤k} τ[j]  (discrete integration of group delay).
+    phase = -2.0 * np.pi / design_size * np.cumsum(group_delay)
+    phase[0] = 0.0
+    # Smooth random log-magnitude ripple within ±ripple_db.
+    mag_values = rng.uniform(-ripple_db, ripple_db, size=n_control_points)
+    magnitude_db = np.interp(np.arange(half + 1), anchors, mag_values)
+    magnitude = 10.0 ** (magnitude_db / 20.0)
+    response = magnitude * np.exp(1j * phase)
+    # Hermitian-symmetric spectrum → real impulse response.
+    full = np.empty(design_size, dtype=np.complex128)
+    full[: half + 1] = response
+    full[half + 1 :] = np.conj(response[1:half][::-1])
+    full[0] = np.abs(full[0])
+    full[half] = np.abs(full[half])
+    impulse = np.fft.ifft(full).real
+    keep = min(design_size, max_group_delay + tail_samples)
+    taps = impulse[:keep]
+    return ChannelFilter(taps=taps)

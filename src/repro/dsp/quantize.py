@@ -1,0 +1,48 @@
+"""16-bit sample quantization, the paper's Android audio representation.
+
+The prototype represents audio as 16-bit signed integers; reference signals
+are constructed so their peak stays at 32000 < 2¹⁵ − 1.  We reproduce the
+same pipeline: float synthesis → clipping → integer rounding on playback and
+capture.  Quantization is one of the measurement-error sources behind the
+paper's "zero-effort attacks succeed with small probability" discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PCM16_MAX",
+    "PCM16_MIN",
+    "REFERENCE_PEAK",
+    "quantize_pcm16",
+    "clip_pcm16",
+    "quantization_noise_power",
+]
+
+PCM16_MAX = 32767
+PCM16_MIN = -32768
+
+#: The paper's chosen reference-signal peak (§VI-A): "we use 32000 because the
+#: Android system uses 16 bit integer to represent signals in the time domain".
+REFERENCE_PEAK = 32000.0
+
+
+def clip_pcm16(samples: np.ndarray) -> np.ndarray:
+    """Clip float samples into the representable 16-bit range."""
+    return np.clip(np.asarray(samples, dtype=np.float64), PCM16_MIN, PCM16_MAX)
+
+
+def quantize_pcm16(samples: np.ndarray) -> np.ndarray:
+    """Round float samples to the 16-bit integer grid (returned as float64).
+
+    The result stays float64 so downstream DSP keeps full precision, but the
+    *values* are exactly representable 16-bit integers — the same data a real
+    Android capture buffer would contain.
+    """
+    return np.rint(clip_pcm16(samples))
+
+
+def quantization_noise_power() -> float:
+    """Mean power of the rounding error (uniform on ±½ LSB → 1/12)."""
+    return 1.0 / 12.0

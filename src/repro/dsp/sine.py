@@ -1,0 +1,90 @@
+"""Sine synthesis used by the reference-signal constructor and the attacks.
+
+All synthesis happens in discrete time at the device sample rate.  The paper
+synthesizes tones at 25–35 kHz with fs = 44.1 kHz; those digital frequencies
+are above Nyquist and alias to ``fs − f`` — which is self-consistent end to
+end because detection uses the same discrete-time bin bookkeeping
+(DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["synthesize_sine", "synthesize_tone_sum", "tone_amplitude_for_power"]
+
+
+def synthesize_sine(
+    frequency: float,
+    amplitude: float,
+    n_samples: int,
+    sample_rate: float,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """A single real sine wave in discrete time.
+
+    Parameters
+    ----------
+    frequency:
+        Digital frequency in Hz (may exceed Nyquist; see module docstring).
+    amplitude:
+        Peak amplitude in the device's linear sample units.
+    n_samples:
+        Length of the generated signal.
+    sample_rate:
+        Sample rate in Hz.
+    phase:
+        Initial phase in radians.
+    """
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+    if sample_rate <= 0:
+        raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+    n = np.arange(n_samples, dtype=np.float64)
+    return amplitude * np.sin(2.0 * np.pi * frequency / sample_rate * n + phase)
+
+
+def synthesize_tone_sum(
+    frequencies: Sequence[float] | Iterable[float],
+    amplitudes: Sequence[float] | Iterable[float],
+    n_samples: int,
+    sample_rate: float,
+    phases: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Sum of sine waves — the shape of every PIANO reference signal.
+
+    ``phases`` defaults to all-zero, matching the paper's construction; the
+    spoofing attacks pass explicit phases to emulate arbitrary attacker
+    hardware.
+    """
+    freqs = np.atleast_1d(np.asarray(list(frequencies), dtype=np.float64))
+    amps = np.atleast_1d(np.asarray(list(amplitudes), dtype=np.float64))
+    if freqs.shape != amps.shape:
+        raise ValueError(
+            f"got {freqs.size} frequencies but {amps.size} amplitudes"
+        )
+    if phases is None:
+        phase_arr = np.zeros_like(freqs)
+    else:
+        phase_arr = np.atleast_1d(np.asarray(list(phases), dtype=np.float64))
+        if phase_arr.shape != freqs.shape:
+            raise ValueError(
+                f"got {freqs.size} frequencies but {phase_arr.size} phases"
+            )
+    signal = np.zeros(n_samples, dtype=np.float64)
+    for freq, amp, phase in zip(freqs, amps, phase_arr):
+        signal += synthesize_sine(freq, amp, n_samples, sample_rate, phase)
+    return signal
+
+
+def tone_amplitude_for_power(power: float) -> float:
+    """Amplitude of a sine whose PIANO-convention power equals ``power``.
+
+    The power-spectrum convention of :mod:`repro.dsp.fft` makes a sine of
+    amplitude ``A`` register power ``A²``, so the inverse is a square root.
+    """
+    if power < 0:
+        raise ValueError(f"power must be non-negative, got {power}")
+    return float(np.sqrt(power))

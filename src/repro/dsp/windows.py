@@ -1,0 +1,77 @@
+"""Sliding-window utilities for the detector's scan over a recording.
+
+Algorithm 1 slides a window of the reference-signal length along the
+recording with a step size δ.  The prototype (and our implementation) uses an
+adaptive scan: coarse step 1000 to localize, fine step 10 around the coarse
+maximum.  These helpers produce the candidate start indices for both passes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["window_starts", "refine_range", "extract_window"]
+
+
+def window_starts(total_length: int, window_length: int, step: int) -> np.ndarray:
+    """Start indices ``i`` of windows ``[i, i+window_length)`` inside a signal.
+
+    Mirrors the loop bound of Algorithm 1: ``for i = 1 to |X| − |S| + 1``
+    (translated to 0-based indexing) with step ``δ``.  The final admissible
+    start is always included so the scan never misses a signal parked at the
+    very end of the recording.
+    """
+    if window_length <= 0:
+        raise ValueError(f"window_length must be positive, got {window_length}")
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    last = total_length - window_length
+    if last < 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.arange(0, last + 1, step, dtype=np.int64)
+    if starts.size == 0 or starts[-1] != last:
+        starts = np.append(starts, np.int64(last))
+    return starts
+
+
+def refine_range(
+    center: int, radius: int, total_length: int, window_length: int, step: int
+) -> np.ndarray:
+    """Start indices for the fine pass around a coarse maximum.
+
+    Scans ``[center − radius, center + radius]`` clamped to the admissible
+    range, with the fine ``step``.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    last = total_length - window_length
+    if last < 0:
+        return np.empty(0, dtype=np.int64)
+    lo = max(0, center - radius)
+    hi = min(last, center + radius)
+    if hi < lo:
+        return np.empty(0, dtype=np.int64)
+    starts = np.arange(lo, hi + 1, step, dtype=np.int64)
+    if starts.size == 0 or starts[-1] != hi:
+        starts = np.append(starts, np.int64(hi))
+    return starts
+
+
+def extract_window(signal: np.ndarray, start: int, window_length: int) -> np.ndarray:
+    """The window ``signal[start : start+window_length]`` with bounds checks."""
+    if start < 0 or start + window_length > signal.shape[0]:
+        raise IndexError(
+            f"window [{start}, {start + window_length}) outside signal of "
+            f"length {signal.shape[0]}"
+        )
+    return signal[start : start + window_length]
+
+
+def iter_windows(
+    signal: np.ndarray, window_length: int, step: int
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(start, window)`` pairs for a full scan (testing helper)."""
+    for start in window_starts(signal.shape[0], window_length, step):
+        yield int(start), extract_window(signal, int(start), window_length)

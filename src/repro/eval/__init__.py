@@ -1,0 +1,1 @@
+"""eval subpackage of the PIANO reproduction."""

@@ -1,0 +1,123 @@
+"""Ablations over the design choices DESIGN.md calls out (our extension).
+
+The paper fixes θ = 5, α = 1 %, coarse/fine steps 1000/10, and
+signal length 4096 without sensitivity analysis.  These sweeps show *why*
+those are reasonable choices on the same substrate:
+
+* **θ** — too small loses smoothed-out power (α check fails, range
+  collapses); larger values are safe until aggregation windows collide;
+* **coarse step** — larger steps scan fewer windows (cheaper) but lose
+  localization robustness;
+* **noise scale** — errors grow with the broadband floor, the mechanism
+  behind the office→street ordering;
+* **signal length** — shorter references are cheaper but noisier.
+"""
+
+from __future__ import annotations
+
+from repro.acoustics.environment import get_environment
+from repro.core.config import ProtocolConfig
+from repro.eval.reporting import ExperimentReport
+from repro.eval.trials import run_ranging_cell
+from repro.sim.rng import derive_seed
+
+__all__ = ["run"]
+
+_DISTANCE = 1.0
+
+
+def _cell_summary(cell) -> tuple[str, str]:
+    if cell.stats.n:
+        return (
+            f"{cell.stats.mean_abs_cm():.1f}",
+            f"{cell.stats.not_present}/{cell.stats.trials}",
+        )
+    return "-", f"{cell.stats.not_present}/{cell.stats.trials}"
+
+
+def run(trials: int = 8, seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Run all four ablation sweeps at d = 1 m in the office."""
+    if quick:
+        trials = min(trials, 3)
+    report = ExperimentReport(
+        name="ablations", title="parameter sensitivity (reproduction extension)"
+    )
+
+    rows = []
+    for theta in (1, 2, 3, 5, 8):
+        config = ProtocolConfig(theta=theta)
+        cell = run_ranging_cell(
+            "office", _DISTANCE, trials, derive_seed(seed, f"theta:{theta}"),
+            config=config,
+        )
+        err, bot = _cell_summary(cell)
+        rows.append([theta, err, bot])
+        report.data[f"theta:{theta}"] = cell.stats
+    report.add_table(
+        ["theta", "mean |err| (cm)", "not-present"],
+        rows,
+        title=f"frequency-smoothing width θ (paper: 5) at {_DISTANCE} m",
+    )
+
+    rows = []
+    for step in (250, 500, 1000, 2000):
+        config = ProtocolConfig(coarse_step=step, fine_radius=max(1200, step))
+        cell = run_ranging_cell(
+            "office", _DISTANCE, trials, derive_seed(seed, f"step:{step}"),
+            config=config,
+        )
+        err, bot = _cell_summary(cell)
+        windows = 0
+        oks = [o for o in cell.outcomes if o.auth_observation is not None]
+        if oks:
+            windows = int(
+                sum(
+                    o.auth_observation.own.windows_scanned
+                    + o.auth_observation.remote.windows_scanned
+                    for o in oks
+                )
+                / len(oks)
+            )
+        rows.append([step, err, bot, windows])
+        report.data[f"coarse_step:{step}"] = cell.stats
+    report.add()
+    report.add_table(
+        ["coarse step", "mean |err| (cm)", "not-present", "windows/auth"],
+        rows,
+        title="adaptive-scan coarse step (paper: 1000)",
+    )
+
+    rows = []
+    office = get_environment("office")
+    for scale in (0.25, 1.0, 2.0, 4.0):
+        scaled = office.with_noise_scale(scale)
+        cell = run_ranging_cell(
+            scaled, _DISTANCE, trials, derive_seed(seed, f"noise:{scale}")
+        )
+        err, bot = _cell_summary(cell)
+        rows.append([f"×{scale:g}", err, bot])
+        report.data[f"noise:{scale}"] = cell.stats
+    report.add()
+    report.add_table(
+        ["noise scale", "mean |err| (cm)", "not-present"],
+        rows,
+        title="background-noise scale (office baseline)",
+    )
+
+    rows = []
+    for length in (2048, 4096, 8192):
+        config = ProtocolConfig(signal_length=length)
+        cell = run_ranging_cell(
+            "office", _DISTANCE, trials, derive_seed(seed, f"len:{length}"),
+            config=config,
+        )
+        err, bot = _cell_summary(cell)
+        rows.append([length, err, bot])
+        report.data[f"signal_length:{length}"] = cell.stats
+    report.add()
+    report.add_table(
+        ["signal length", "mean |err| (cm)", "not-present"],
+        rows,
+        title="reference-signal length (paper: 4096 ≈ 93 ms)",
+    )
+    return report

@@ -1,0 +1,47 @@
+"""§VI-B maximum detection range d_s ≈ 2.5 m.
+
+"With the current parameter setting of our prototype, we find that when
+the real distance between the two devices is larger than around 2.5
+meters, ACTION determines that the reference signal is not present …"
+
+The experiment sweeps the true distance and reports the ⊥ fraction; d_s is
+taken as the smallest distance at which at least half the rounds abort.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import ExperimentReport
+from repro.eval.trials import run_ranging_cell
+
+__all__ = ["DISTANCES_M", "run"]
+
+DISTANCES_M = (1.5, 2.0, 2.25, 2.5, 2.75, 3.0, 3.5)
+
+PAPER_NOTES = "paper: signals undetectable beyond around 2.5 m"
+
+
+def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Regenerate the range-limit sweep."""
+    if quick:
+        trials = min(trials, 4)
+    report = ExperimentReport(
+        name="range_limit", title="maximum acoustic detection range (§VI-B)"
+    )
+    report.add(PAPER_NOTES)
+    rows = []
+    d_s = None
+    for distance in DISTANCES_M:
+        cell = run_ranging_cell("office", distance, trials, seed)
+        rate = cell.stats.not_present_rate()
+        rows.append([f"{distance:.2f}", f"{100*rate:.0f}%"])
+        report.data[f"not_present_rate:{distance}"] = rate
+        if d_s is None and rate >= 0.5:
+            d_s = distance
+    report.data["d_s"] = d_s
+    report.add()
+    report.add_table(
+        ["distance (m)", "not-present rate"],
+        rows,
+        title=f"measured d_s = {d_s} m (paper: ≈ 2.5 m)",
+    )
+    return report

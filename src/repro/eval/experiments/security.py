@@ -1,0 +1,88 @@
+"""§VI-E security against spoofing attacks (plus §V analytics).
+
+The paper runs 100 trials each of the guessing-based replay attack and the
+all-frequency spoofing attack; in every trial the sanity checks force ⊥
+and the attacker is denied.  §V also derives the replay-guessing success
+probability analytically.
+
+Scenario: the legitimate user (vouching device) is 4 m away — inside
+Bluetooth range, outside acoustic range — while the attacker's speaker sits
+0.3 m from the authenticating device.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.all_frequency import AllFrequencySpoofAttack
+from repro.attacks.guessing_replay import (
+    GuessingReplayAttack,
+    guess_success_probability,
+    paper_guess_success_probability,
+)
+from repro.attacks.zero_effort import ZeroEffortAttack
+from repro.core.config import AuthConfig
+from repro.eval.reporting import ExperimentReport
+from repro.eval.trials import AUTH, VOUCH, build_pair_world
+from repro.sim.geometry import Point
+from repro.sim.rng import derive_seed
+
+__all__ = ["run"]
+
+PAPER_NOTES = (
+    "paper: 100/100 guessing-replay and 100/100 all-frequency spoof "
+    "trials denied; analytic replay success stated as 1/2^(N+1)"
+)
+
+_ATTACKS = {
+    "zero-effort": ZeroEffortAttack,
+    "guessing-replay": GuessingReplayAttack,
+    "all-frequency-spoof": AllFrequencySpoofAttack,
+}
+
+
+def run(trials: int = 100, seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Regenerate §VI-E: attack denial rates plus §V analytics."""
+    if quick:
+        trials = min(trials, 10)
+    report = ExperimentReport(
+        name="security", title="spoofing-attack resistance (§V, §VI-E)"
+    )
+    report.add(PAPER_NOTES)
+    rows = []
+    for name, attack_cls in _ATTACKS.items():
+        denied = 0
+        for trial in range(trials):
+            world = build_pair_world(
+                "office", 4.0, derive_seed(seed, f"{name}:{trial}")
+            )
+            attacker = world.add_device("attacker", Point(0.3, 0.0))
+            attack = attack_cls(
+                world=world,
+                auth_name=AUTH,
+                vouch_name=VOUCH,
+                attacker=attacker,
+                auth_config=AuthConfig(threshold_m=1.0),
+            )
+            outcome = attack.run()
+            if outcome.denied:
+                denied += 1
+        rows.append([name, f"{denied}/{trials}"])
+        report.data[f"denied:{name}"] = (denied, trials)
+    report.add()
+    report.add_table(
+        ["attack", "denied"],
+        rows,
+        title="attack trials (user 4 m away, attacker 0.3 m from device)",
+    )
+
+    n = 30
+    exact = guess_success_probability(n)
+    paper = paper_guess_success_probability(n)
+    report.data["analytic:exact"] = exact
+    report.data["analytic:paper"] = paper
+    report.add()
+    report.add(
+        f"analytic replay-guessing success (N={n}): exact combinatorics "
+        f"1/(2^N-2)^2 = {exact:.3e}; paper prints 1/2^(N+1) = {paper:.3e} "
+        "(see DESIGN.md note 1) — both negligible"
+    )
+    return report

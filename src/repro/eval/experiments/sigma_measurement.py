@@ -1,0 +1,46 @@
+"""Shared σ_d measurement feeding Tables I and II.
+
+§VI-C derives FRR/FAR from a per-scenario Gaussian error model whose σ_d
+is estimated from the ranging measurements (Fig. 1 plus the multi-user
+runs).  Both table experiments need the same σ values, so the measurement
+is cached per (trials, seed).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.acoustics.environment import FIGURE1_ENVIRONMENTS
+from repro.eval.stats import pooled_sigma
+from repro.eval.trials import concurrent_users_interference, run_ranging_cell
+
+__all__ = ["SCENARIOS", "measure_sigmas"]
+
+#: Scenario labels in the papers' table row order.
+SCENARIOS = ("office", "home", "street", "restaurant", "multiple users")
+
+_DISTANCES = (0.5, 1.0, 1.5, 2.0)
+
+
+@lru_cache(maxsize=8)
+def measure_sigmas(trials: int, seed: int) -> dict[str, float]:
+    """σ_d in meters per scenario, measured from fresh ranging runs."""
+    sigmas: dict[str, float] = {}
+    for environment in FIGURE1_ENVIRONMENTS:
+        cells = [
+            run_ranging_cell(environment, d, trials, seed).stats
+            for d in _DISTANCES
+        ]
+        sigmas[environment.name] = pooled_sigma(cells)
+    multi_cells = [
+        run_ranging_cell(
+            "office",
+            d,
+            trials,
+            seed,
+            interference_factory=concurrent_users_interference(2),
+        ).stats
+        for d in _DISTANCES
+    ]
+    sigmas["multiple users"] = pooled_sigma(multi_cells)
+    return sigmas

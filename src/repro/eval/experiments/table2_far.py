@@ -1,0 +1,87 @@
+"""Table II — false acceptance rates per scenario and threshold.
+
+The paper's Table II (FAR within Bluetooth range; identically 0 beyond
+10 m because pairing fails):
+
+=============  =====  =====  =====  =====
+scenario       0.5m   1.0m   1.5m   2.0m
+=============  =====  =====  =====  =====
+Office         0.3%   0.3%   0.3%   0.4%
+Home           0.5%   0.5%   0.6%   0.6%
+Street         0.7%   0.7%   0.7%   0.8%
+Restaurant     0.4%   0.5%   0.4%   0.4%
+Multiple users 0.4%   0.4%   0.5%   0.5%
+=============  =====  =====  =====  =====
+
+FAR(τ) averages P(estimate ≤ τ) over d ∈ (τ, 10 m], gated by the acoustic
+range d_s ≈ 2.5 m (beyond it ranging yields ⊥ and denies outright).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.sigma_measurement import SCENARIOS, measure_sigmas
+from repro.eval.frr_far import (
+    GaussianAuthModel,
+    PAPER_SIGMAS_M,
+    THRESHOLDS_M,
+)
+from repro.eval.reporting import ExperimentReport, format_percent_row
+
+__all__ = ["PAPER_TABLE2", "run"]
+
+PAPER_TABLE2 = {
+    "office": (0.3, 0.3, 0.3, 0.4),
+    "home": (0.5, 0.5, 0.6, 0.6),
+    "street": (0.7, 0.7, 0.7, 0.8),
+    "restaurant": (0.4, 0.5, 0.4, 0.4),
+    "multiple users": (0.4, 0.4, 0.5, 0.5),
+}
+
+
+def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Regenerate Table II (paper vs. model vs. measured)."""
+    if quick:
+        trials = min(trials, 4)
+    report = ExperimentReport(
+        name="table2", title="false acceptance rates (Table II)"
+    )
+    sigmas = measure_sigmas(trials, seed)
+    headers = ["scenario", *[f"{t:.1f}m" for t in THRESHOLDS_M]]
+
+    paper_rows = [
+        [name, *format_percent_row(PAPER_TABLE2[name])] for name in SCENARIOS
+    ]
+    report.add_table(headers, paper_rows, title="Table II as printed in the paper")
+
+    model_rows = []
+    for name in SCENARIOS:
+        model = GaussianAuthModel(sigma_m=PAPER_SIGMAS_M[name])
+        row = model.far_row()
+        model_rows.append([name, *format_percent_row(row)])
+        report.data[f"model_paper_sigma:{name}"] = row
+    report.add()
+    report.add_table(
+        headers, model_rows,
+        title="Gaussian model at the paper-implied sigma_d (formula check)",
+    )
+
+    measured_rows = []
+    for name in SCENARIOS:
+        model = GaussianAuthModel(sigma_m=sigmas[name])
+        row = model.far_row()
+        measured_rows.append(
+            [f"{name} (σ={100*sigmas[name]:.1f}cm)", *format_percent_row(row)]
+        )
+        report.data[f"measured:{name}"] = row
+        report.data[f"sigma:{name}"] = sigmas[name]
+    report.add()
+    report.add_table(
+        headers, measured_rows,
+        title="Gaussian model at the simulator-measured sigma_d",
+    )
+    report.add()
+    report.add(
+        "FAR is identically 0 beyond the 10 m Bluetooth range (pairing "
+        "gate) and every FAR stays below 1% — the paper's headline claim"
+    )
+    return report

@@ -1,0 +1,141 @@
+"""Registry of all reproducible experiments (CLI and benches dispatch here).
+
+Every entry maps an experiment id to the paper artifact it regenerates and
+a runner ``run(trials=..., seed=..., quick=...) -> ExperimentReport``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.eval.experiments import (
+    ablations,
+    efficiency,
+    fig1_environments,
+    fig2a_multiuser,
+    fig2b_comparison,
+    range_limit,
+    security,
+    table1_frr,
+    table2_far,
+    wall_study,
+)
+from repro.eval.reporting import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "ExperimentEntry", "run_experiment", "list_experiments"]
+
+
+class _Runner(Protocol):
+    def __call__(
+        self, trials: int = ..., seed: int = ..., quick: bool = ...
+    ) -> ExperimentReport: ...
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    name: str
+    paper_artifact: str
+    description: str
+    runner: Callable[..., ExperimentReport]
+    default_trials: int
+
+
+EXPERIMENTS: dict[str, ExperimentEntry] = {
+    entry.name: entry
+    for entry in (
+        ExperimentEntry(
+            "fig1",
+            "Figure 1(a-d)",
+            "distance-estimation errors in office/home/street/restaurant",
+            fig1_environments.run,
+            10,
+        ),
+        ExperimentEntry(
+            "fig2a",
+            "Figure 2(a)",
+            "three concurrent PIANO users in a shared office",
+            fig2a_multiuser.run,
+            10,
+        ),
+        ExperimentEntry(
+            "fig2b",
+            "Figure 2(b)",
+            "ACTION vs ACTION-CC vs Echo-Secure accuracy",
+            fig2b_comparison.run,
+            10,
+        ),
+        ExperimentEntry(
+            "table1",
+            "Table I",
+            "false rejection rates per scenario and threshold",
+            table1_frr.run,
+            10,
+        ),
+        ExperimentEntry(
+            "table2",
+            "Table II",
+            "false acceptance rates per scenario and threshold",
+            table2_far.run,
+            10,
+        ),
+        ExperimentEntry(
+            "wall",
+            "§VI-B (wall)",
+            "wall-separated devices are denied",
+            wall_study.run,
+            10,
+        ),
+        ExperimentEntry(
+            "range_limit",
+            "§VI-B (d_s)",
+            "maximum acoustic detection range sweep",
+            range_limit.run,
+            10,
+        ),
+        ExperimentEntry(
+            "efficiency",
+            "§VI-D",
+            "latency and energy per authentication",
+            efficiency.run,
+            20,
+        ),
+        ExperimentEntry(
+            "security",
+            "§V + §VI-E",
+            "spoofing-attack trials and analytic guessing bounds",
+            security.run,
+            100,
+        ),
+        ExperimentEntry(
+            "ablations",
+            "extension",
+            "sensitivity sweeps over θ, scan step, noise, signal length",
+            ablations.run,
+            8,
+        ),
+    )
+}
+
+
+def run_experiment(
+    name: str, trials: int | None = None, seed: int = 0, quick: bool = False
+) -> ExperimentReport:
+    """Run a registered experiment by id."""
+    try:
+        entry = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return entry.runner(
+        trials=trials if trials is not None else entry.default_trials,
+        seed=seed,
+        quick=quick,
+    )
+
+
+def list_experiments() -> list[ExperimentEntry]:
+    """All registered experiments in registration order."""
+    return list(EXPERIMENTS.values())

@@ -1,0 +1,77 @@
+"""Plain-text reporting: the same rows and series the paper prints.
+
+Experiments produce :class:`ExperimentReport` objects; benchmarks and the
+CLI render them with :func:`format_table` so a terminal shows, for every
+figure and table, the paper's numbers next to the measured ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentReport", "format_table", "format_percent_row"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def _line(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(_line(cells[0]))
+    parts.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    parts.extend(_line(row) for row in cells[1:])
+    return "\n".join(parts)
+
+
+def format_percent_row(values: Sequence[float], digits: int = 1) -> list[str]:
+    """Format percentages the way the paper prints them (e.g. '2.8%')."""
+    return [f"{value:.{digits}f}%" for value in values]
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: text for humans, data for tests/benches.
+
+    Attributes
+    ----------
+    name:
+        Experiment id (e.g. ``fig1``, ``table2``).
+    title:
+        One-line description including the paper artifact it regenerates.
+    lines:
+        Rendered text body (tables, commentary, paper-vs-measured rows).
+    data:
+        Machine-readable results keyed by metric name — the tests assert
+        on these instead of parsing text.
+    """
+
+    name: str
+    title: str
+    lines: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def add(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def add_table(self, headers, rows, title=None) -> None:
+        self.add(format_table(headers, rows, title))
+
+    def to_text(self) -> str:
+        header = f"== {self.name}: {self.title} =="
+        return "\n".join([header, *self.lines])
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.to_text())

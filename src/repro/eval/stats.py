@@ -1,0 +1,94 @@
+"""Error statistics for the ranging experiments.
+
+The paper reports, per (environment, distance): the mean of the *absolute*
+error over 10 trials with error bars (Fig. 1/2), and — for the FRR/FAR
+model of §VI-C — the standard deviation σ_d of the estimated distance,
+assumed Gaussian around the true distance and constant across distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ErrorStats", "pooled_sigma"]
+
+
+@dataclass
+class ErrorStats:
+    """Signed-error sample accumulator for one (scenario, distance) cell."""
+
+    errors_m: list[float] = field(default_factory=list)
+    not_present: int = 0
+
+    def add(self, error_m: float) -> None:
+        self.errors_m.append(float(error_m))
+
+    def add_not_present(self) -> None:
+        self.not_present += 1
+
+    @property
+    def n(self) -> int:
+        return len(self.errors_m)
+
+    @property
+    def trials(self) -> int:
+        return self.n + self.not_present
+
+    def mean_abs_cm(self) -> float:
+        """Mean absolute error in centimeters (the Fig. 1 quantity)."""
+        if not self.errors_m:
+            raise ValueError("no completed trials")
+        return 100.0 * sum(abs(e) for e in self.errors_m) / self.n
+
+    def mean_cm(self) -> float:
+        """Mean signed error in centimeters (bias)."""
+        if not self.errors_m:
+            raise ValueError("no completed trials")
+        return 100.0 * sum(self.errors_m) / self.n
+
+    def std_cm(self) -> float:
+        """Standard deviation of the signed error in centimeters."""
+        if len(self.errors_m) < 2:
+            return 0.0
+        mean = sum(self.errors_m) / self.n
+        var = sum((e - mean) ** 2 for e in self.errors_m) / self.n
+        return 100.0 * math.sqrt(var)
+
+    def robust_std_cm(self) -> float:
+        """Outlier-robust spread estimate (MAD × 1.4826), in centimeters.
+
+        Matches :meth:`std_cm` for Gaussian samples while discounting the
+        rare gross errors of heavy multi-user interference; used for the
+        σ_d that feeds the §VI-C FRR/FAR model, whose Gaussian assumption
+        describes the *typical* error (as the paper's own data did).
+        """
+        if len(self.errors_m) < 4:
+            return self.std_cm()
+        med = sorted(self.errors_m)[self.n // 2]
+        deviations = sorted(abs(e - med) for e in self.errors_m)
+        mad = deviations[self.n // 2]
+        return 100.0 * 1.4826 * mad
+
+    def max_abs_cm(self) -> float:
+        if not self.errors_m:
+            raise ValueError("no completed trials")
+        return 100.0 * max(abs(e) for e in self.errors_m)
+
+    def not_present_rate(self) -> float:
+        if self.trials == 0:
+            raise ValueError("no trials recorded")
+        return self.not_present / self.trials
+
+
+def pooled_sigma(cells: list[ErrorStats]) -> float:
+    """σ_d in meters, pooled over cells as §VI-C does.
+
+    The paper "estimate[s] it by averaging the standard deviations at the
+    four points"; we average the per-cell (outlier-robust) standard
+    deviations of the cells that completed at least two trials.
+    """
+    sigmas = [c.robust_std_cm() / 100.0 for c in cells if c.n >= 2]
+    if not sigmas:
+        raise ValueError("no cell has enough completed trials")
+    return sum(sigmas) / len(sigmas)

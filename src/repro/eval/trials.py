@@ -1,0 +1,184 @@
+"""Trial runners shared by all experiments.
+
+Every evaluation cell boils down to: build a two-device world at a given
+distance in a given environment, run N ranging rounds (optionally with
+interference), and collect the outcomes.  The helpers here centralize that
+so experiments stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.acoustics.environment import Environment, get_environment
+from repro.acoustics.mixer import PlaybackEvent
+from repro.core.config import ProtocolConfig
+from repro.core.ranging import RangingOutcome, RangingStatus
+from repro.core.signal_construction import construct_reference_signal
+from repro.dsp.quantize import quantize_pcm16
+from repro.eval.stats import ErrorStats
+from repro.sim.geometry import Point, Room
+from repro.sim.rng import derive_seed
+from repro.sim.world import AcousticWorld
+
+__all__ = [
+    "build_pair_world",
+    "run_ranging_cell",
+    "concurrent_users_interference",
+    "AUTH",
+    "VOUCH",
+]
+
+AUTH = "auth-device"
+VOUCH = "vouch-device"
+
+
+def build_pair_world(
+    environment: Environment | str,
+    distance_m: float,
+    seed: int,
+    config: ProtocolConfig | None = None,
+    room: Room | None = None,
+) -> AcousticWorld:
+    """A world with one paired (authenticating, vouching) device pair.
+
+    The authenticating device sits at the origin; the vouching device at
+    ``(distance_m, 0)``.
+    """
+    world = AcousticWorld(
+        config=config or ProtocolConfig(),
+        environment=environment,
+        room=room or Room.open_space(),
+        seed=seed,
+    )
+    world.add_device(AUTH, Point(0.0, 0.0))
+    world.add_device(VOUCH, Point(distance_m, 0.0))
+    world.pair(AUTH, VOUCH)
+    return world
+
+
+@dataclass
+class CellResult:
+    """Outcomes plus error statistics for one (environment, distance) cell."""
+
+    environment: str
+    distance_m: float
+    outcomes: list[RangingOutcome] = field(default_factory=list)
+    stats: ErrorStats = field(default_factory=ErrorStats)
+
+
+def run_ranging_cell(
+    environment: Environment | str,
+    distance_m: float,
+    n_trials: int,
+    seed: int,
+    config: ProtocolConfig | None = None,
+    room: Room | None = None,
+    interference_factory=None,
+    engine=None,
+) -> CellResult:
+    """Run ``n_trials`` independent ranging rounds at one distance.
+
+    Each trial gets a fresh world (fresh hardware realization, clocks, and
+    channels) derived deterministically from ``seed``.
+
+    Parameters
+    ----------
+    interference_factory:
+        Optional callable ``(world, trial_rng) -> list[InterferenceProvider]``
+        used for multi-user and attack scenarios.
+    engine:
+        Optional ranging-engine override (e.g. ACTION-CC).
+    """
+    env_name = (
+        environment if isinstance(environment, str) else environment.name
+    )
+    cell = CellResult(environment=env_name, distance_m=distance_m)
+    for trial in range(n_trials):
+        trial_seed = derive_seed(seed, f"{env_name}:{distance_m}:{trial}")
+        world = build_pair_world(
+            environment, distance_m, trial_seed, config=config, room=room
+        )
+        providers: Sequence = ()
+        if interference_factory is not None:
+            providers = interference_factory(
+                world, world.rngs.generator("interference")
+            )
+        session = world.ranging_session(AUTH, VOUCH, providers, engine=engine)
+        outcome = session.run()
+        cell.outcomes.append(outcome)
+        if outcome.ok:
+            cell.stats.add(outcome.require_distance() - distance_m)
+        else:
+            cell.stats.add_not_present()
+    return cell
+
+
+def concurrent_users_interference(n_other_pairs: int = 2):
+    """Interference factory for the Fig. 2(a) multi-user scenario.
+
+    Each additional PIANO pair plays two freshly randomized reference
+    signals at uniformly random times inside the session's acoustic
+    window, from positions 1–3 m away — exactly how the paper simulates 3
+    concurrent users in a shared office (§VI-B2).
+    """
+
+    def factory(world: AcousticWorld, rng: np.random.Generator):
+        config = world.config
+
+        # Register the interfering pairs' devices once per world.
+        interferers = []
+        for pair in range(n_other_pairs):
+            for member in range(2):
+                name = f"other-user-{pair}-{member}"
+                angle = rng.uniform(0.0, 2.0 * np.pi)
+                radius = rng.uniform(1.0, 3.0)
+                device = world.add_device(
+                    name,
+                    Point(radius * np.cos(angle), radius * np.sin(angle)),
+                )
+                interferers.append(device)
+
+        def provider(window_start: float, window_end: float, prng):
+            """One concurrent PIANO session per interfering pair.
+
+            Each pair runs its *own* session schedule: a session start
+            drawn over a window wider than ours (colleagues launch "at
+            close times", not in lockstep — §VI-B2), then its two
+            reference signals at the protocol's play offsets.  Overlaps
+            with our signals still happen — that is the experiment — but
+            at a realistic rate.
+            """
+            events = []
+            for pair in range(n_other_pairs):
+                session_start = prng.uniform(window_start - 2.0, window_end)
+                offsets = (0.2, 0.65)
+                for member, offset in enumerate(offsets):
+                    device = interferers[2 * pair + member]
+                    reference = construct_reference_signal(config, prng)
+                    waveform = quantize_pcm16(
+                        device.speaker.radiate(reference.samples)
+                    )
+                    events.append(
+                        PlaybackEvent(
+                            device=device,
+                            waveform=waveform,
+                            world_start=float(session_start + offset),
+                            label=f"interference-{device.name}",
+                        )
+                    )
+            return events
+
+        return [provider]
+
+    return factory
+
+
+def not_present_count(outcomes: list[RangingOutcome]) -> int:
+    """How many outcomes ended in ⊥."""
+    return sum(
+        1 for o in outcomes if o.status is RangingStatus.SIGNAL_NOT_PRESENT
+    )

@@ -1,0 +1,152 @@
+"""A small deterministic discrete-event scheduler.
+
+The ACTION protocol interleaves Bluetooth messages, speaker playback, and
+microphone recording across two (or more) devices.  The scheduler provides a
+single global *world clock* (float seconds) and executes callbacks in
+timestamp order, breaking ties by insertion sequence so that runs are fully
+deterministic.
+
+The simulator does not need preemption or process semantics — events are
+plain callbacks — which keeps the kernel easy to audit and fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "EventScheduler", "SchedulerError"]
+
+
+class SchedulerError(RuntimeError):
+    """Raised on invalid scheduler operations (e.g., scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordering: time, then insertion sequence."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Deterministic priority-queue event loop.
+
+    Examples
+    --------
+    >>> sched = EventScheduler()
+    >>> order = []
+    >>> _ = sched.schedule_at(2.0, lambda: order.append("b"))
+    >>> _ = sched.schedule_at(1.0, lambda: order.append("a"))
+    >>> sched.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current world time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def executed(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute world time ``time``."""
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule event {label!r} at {time:.6f}s: "
+                f"world clock is already at {self._now:.6f}s"
+            )
+        event = Event(
+            time=float(time),
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay {delay} for event {label!r}")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> None:
+        """Execute queued events in order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would be strictly later than
+            ``until``; the world clock is then advanced to ``until``.
+        max_events:
+            Safety valve against run-away event chains.
+        """
+        executed_this_run = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if executed_this_run >= max_events:
+                raise SchedulerError(
+                    f"exceeded max_events={max_events}; "
+                    "possible event chain loop"
+                )
+            self._now = max(self._now, event.time)
+            event.callback()
+            self._executed += 1
+            executed_this_run += 1
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def step(self) -> bool:
+        """Execute exactly one (non-cancelled) event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue is
+        empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.callback()
+            self._executed += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all queued events without executing them."""
+        self._queue.clear()

@@ -1,0 +1,173 @@
+"""Planar geometry for the acoustic world.
+
+The paper's experiments happen on a desk, in a room, or across a wall — a
+two-dimensional model is sufficient and keeps the physics transparent.  This
+module provides immutable points, wall segments with per-wall attenuation,
+and the segment-intersection test used to decide whether a propagation path
+crosses a wall.
+
+All distances are in meters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Point", "Wall", "Room", "distance", "segments_intersect"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane, in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in meters."""
+    return a.distance_to(b)
+
+
+def _orientation(p: Point, q: Point, r: Point) -> int:
+    """Orientation of the ordered triplet (p, q, r).
+
+    Returns ``+1`` for counter-clockwise, ``-1`` for clockwise and ``0`` for
+    collinear points.
+    """
+    cross = (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def _on_segment(p: Point, q: Point, r: Point) -> bool:
+    """Whether collinear point ``q`` lies on the segment ``p``–``r``."""
+    return (
+        min(p.x, r.x) - _EPS <= q.x <= max(p.x, r.x) + _EPS
+        and min(p.y, r.y) - _EPS <= q.y <= max(p.y, r.y) + _EPS
+    )
+
+
+def segments_intersect(a1: Point, a2: Point, b1: Point, b2: Point) -> bool:
+    """Whether segment ``a1``–``a2`` intersects segment ``b1``–``b2``.
+
+    Standard orientation test, including the degenerate collinear cases.
+    Touching endpoints count as an intersection: a propagation path that
+    grazes a wall endpoint is treated as blocked, which errs on the
+    conservative (more attenuation) side.
+    """
+    o1 = _orientation(a1, a2, b1)
+    o2 = _orientation(a1, a2, b2)
+    o3 = _orientation(b1, b2, a1)
+    o4 = _orientation(b1, b2, a2)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(a1, b1, a2):
+        return True
+    if o2 == 0 and _on_segment(a1, b2, a2):
+        return True
+    if o3 == 0 and _on_segment(b1, a1, b2):
+        return True
+    if o4 == 0 and _on_segment(b1, a2, b2):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall segment with an acoustic attenuation figure.
+
+    Parameters
+    ----------
+    start, end:
+        Wall endpoints.
+    attenuation_db:
+        Additional attenuation, in decibels of *amplitude*, applied to any
+        acoustic path crossing this wall.  The paper observes that a typical
+        interior wall attenuates the reference signals below the detection
+        threshold; 30 dB (amplitude factor ≈ 0.032) reproduces that.
+    """
+
+    start: Point
+    end: Point
+    attenuation_db: float = 30.0
+
+    def blocks(self, a: Point, b: Point) -> bool:
+        """Whether the straight path from ``a`` to ``b`` crosses this wall."""
+        return segments_intersect(a, b, self.start, self.end)
+
+    @property
+    def amplitude_factor(self) -> float:
+        """Multiplicative amplitude factor implied by ``attenuation_db``."""
+        return 10.0 ** (-self.attenuation_db / 20.0)
+
+
+@dataclass(frozen=True)
+class Room:
+    """A collection of walls describing a floor plan."""
+
+    walls: tuple[Wall, ...] = ()
+
+    @staticmethod
+    def open_space() -> "Room":
+        """A room with no walls (desk / open office / street)."""
+        return Room(walls=())
+
+    @staticmethod
+    def from_walls(walls: Iterable[Wall]) -> "Room":
+        return Room(walls=tuple(walls))
+
+    @staticmethod
+    def with_dividing_wall(
+        x: float = 0.0,
+        y_min: float = -50.0,
+        y_max: float = 50.0,
+        attenuation_db: float = 30.0,
+    ) -> "Room":
+        """A single long vertical wall at ``x`` — the §VI-B wall scenario."""
+        wall = Wall(Point(x, y_min), Point(x, y_max), attenuation_db)
+        return Room(walls=(wall,))
+
+    def path_amplitude_factor(self, a: Point, b: Point) -> float:
+        """Combined wall amplitude factor along the path ``a``→``b``.
+
+        Every crossed wall contributes its own multiplicative factor; a path
+        crossing no wall returns 1.0.
+        """
+        factor = 1.0
+        for wall in self.walls:
+            if wall.blocks(a, b):
+                factor *= wall.amplitude_factor
+        return factor
+
+    def walls_crossed(self, a: Point, b: Point) -> list[Wall]:
+        """The walls crossed by the straight path ``a``→``b``."""
+        return [wall for wall in self.walls if wall.blocks(a, b)]
+
+
+def bounding_box(points: Sequence[Point]) -> tuple[Point, Point]:
+    """Axis-aligned bounding box ``(lower_left, upper_right)`` of points."""
+    if not points:
+        raise ValueError("bounding_box requires at least one point")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return Point(min(xs), min(ys)), Point(max(xs), max(ys))

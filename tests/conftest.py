@@ -1,0 +1,44 @@
+"""Shared fixtures for the PIANO reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AcousticWorld, Point, ProtocolConfig
+from repro.core.frequencies import build_frequency_plan
+
+
+@pytest.fixture(scope="session")
+def config() -> ProtocolConfig:
+    """The paper's prototype configuration (§VI-A)."""
+    return ProtocolConfig()
+
+
+@pytest.fixture(scope="session")
+def plan(config):
+    return build_frequency_plan(config)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_pair_world(
+    distance_m: float = 0.8,
+    environment: str = "quiet_lab",
+    seed: int = 7,
+    **world_kwargs,
+) -> AcousticWorld:
+    """A paired two-device world; quiet_lab keeps tests fast and stable."""
+    world = AcousticWorld(environment=environment, seed=seed, **world_kwargs)
+    world.add_device("auth", Point(0.0, 0.0))
+    world.add_device("vouch", Point(distance_m, 0.0))
+    world.pair("auth", "vouch")
+    return world
+
+
+@pytest.fixture()
+def pair_world() -> AcousticWorld:
+    return make_pair_world()

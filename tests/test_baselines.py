@@ -1,0 +1,206 @@
+"""Tests for the comparison baselines (ACTION-CC, Echo-Secure, ambience)."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.environment import get_environment
+from repro.baselines.ambient import AmbienceAuthenticator, ambient_similarity
+from repro.baselines.cc_detector import ActionCCRanging, CrossCorrelationDetector
+from repro.baselines.echo import EchoSecureProtocol
+from repro.core.config import ProtocolConfig
+from repro.core.ranging import RangingStatus
+from repro.core.signal_construction import signal_from_indices
+from tests.conftest import make_pair_world
+
+
+# ------------------------------------------------------------ ACTION-CC
+
+
+def test_cc_detector_finds_clean_embedding(config):
+    ref = signal_from_indices([2, 8, 14], config)
+    recording = np.zeros(40_000)
+    recording[12_000:16_096] += ref.samples
+    detector = CrossCorrelationDetector(config)
+    result = detector.detect(recording, [ref])[0]
+    assert result.present
+    assert abs(result.location - 12_000) <= 2
+
+
+def test_cc_detector_not_present_on_noise(config, rng):
+    ref = signal_from_indices([2, 8, 14], config)
+    recording = rng.normal(0, 30.0, size=40_000)
+    detector = CrossCorrelationDetector(config)
+    assert not detector.detect(recording, [ref])[0].present
+
+
+def test_cc_engine_runs_in_session():
+    world = make_pair_world(distance_m=1.0, environment="office", seed=11)
+    engine = ActionCCRanging(world.config)
+    outcome = world.ranging_session("auth", "vouch", engine=engine).run()
+    # CC may or may not complete; when it does, it follows the same shape.
+    assert outcome.status in (
+        RangingStatus.OK,
+        RangingStatus.SIGNAL_NOT_PRESENT,
+    )
+
+
+def test_cc_much_less_accurate_than_action_through_channel():
+    """The Fig. 2b ordering: over several sessions, ACTION-CC's worst
+    error dwarfs ACTION's worst error."""
+    action_errors, cc_errors = [], []
+    for seed in range(6):
+        world = make_pair_world(distance_m=1.0, environment="office", seed=100 + seed)
+        out = world.range_once("auth", "vouch")
+        if out.ok:
+            action_errors.append(abs(out.distance_m - 1.0))
+        world_cc = make_pair_world(distance_m=1.0, environment="office", seed=100 + seed)
+        engine = ActionCCRanging(world_cc.config)
+        out_cc = world_cc.ranging_session("auth", "vouch", engine=engine).run()
+        if out_cc.ok:
+            cc_errors.append(abs(out_cc.distance_m - 1.0))
+    assert action_errors, "ACTION must complete"
+    assert max(action_errors) < 0.4
+    # CC either errs by meters or fails to find the signal at all.
+    if cc_errors:
+        assert max(cc_errors) > 1.0
+
+
+# ------------------------------------------------------------ Echo
+
+
+def _echo_setup(distance, seed):
+    world = make_pair_world(distance_m=distance, environment="quiet_lab", seed=seed)
+    link = world.link_between("auth", "vouch")
+    return world, link
+
+
+def test_echo_round_completes():
+    world, link = _echo_setup(1.0, 5)
+    protocol = EchoSecureProtocol(ProtocolConfig(), calibrated_delay_s=0.1)
+    result = protocol.run_round(
+        link,
+        world.device("auth"),
+        world.device("vouch"),
+        world.environment,
+        world.room,
+        world.propagation,
+        world.rngs.generator("echo"),
+    )
+    assert result.ok
+    assert result.elapsed_s is not None and result.elapsed_s > 0
+
+
+def test_echo_calibration_reduces_bias_but_not_jitter():
+    world, link = _echo_setup(1.0, 6)
+    protocol = EchoSecureProtocol(ProtocolConfig())
+    delay = protocol.calibrate(
+        link,
+        world.device("auth"),
+        world.device("vouch"),
+        world.environment,
+        world.room,
+        world.propagation,
+        world.rngs.generator("cal"),
+        n_trials=8,
+    )
+    assert delay > 0.0
+    errors = []
+    for i in range(6):
+        result = protocol.run_round(
+            link,
+            world.device("auth"),
+            world.device("vouch"),
+            world.environment,
+            world.room,
+            world.propagation,
+            world.rngs.generator("rounds"),
+        )
+        if result.ok:
+            errors.append(abs(result.distance_m - 1.0))
+    # The unpredictable audio-path latency leaves meters of error (§VI-B3).
+    assert errors
+    assert max(errors) > 1.0
+
+
+def test_echo_without_calibration_returns_no_distance():
+    world, link = _echo_setup(1.0, 7)
+    protocol = EchoSecureProtocol(ProtocolConfig())
+    result = protocol.run_round(
+        link,
+        world.device("auth"),
+        world.device("vouch"),
+        world.environment,
+        world.room,
+        world.propagation,
+        world.rngs.generator("echo"),
+    )
+    assert result.ok and result.distance_m is None
+    outcome = protocol.to_outcome(result)
+    assert outcome.status is RangingStatus.OK
+
+
+# ------------------------------------------------------------ ambience
+
+
+def test_ambient_similarity_high_when_colocated():
+    rng = np.random.default_rng(0)
+    shared = rng.normal(0, 100.0, size=22_050)
+    a = shared + rng.normal(0, 5.0, size=shared.size)
+    b = shared + rng.normal(0, 5.0, size=shared.size)
+    assert ambient_similarity(a, b, 44_100.0) > 0.8
+
+
+def test_ambient_similarity_low_for_independent_noise():
+    rng = np.random.default_rng(1)
+    a = rng.normal(0, 100.0, size=22_050)
+    b = rng.normal(0, 100.0, size=22_050)
+    assert abs(ambient_similarity(a, b, 44_100.0)) < 0.4
+
+
+def test_ambient_similarity_validation():
+    with pytest.raises(ValueError):
+        ambient_similarity(np.zeros(0), np.zeros(0), 44_100.0)
+    with pytest.raises(ValueError):
+        ambient_similarity(np.zeros(100), np.zeros(100), 44_100.0)
+
+
+def test_ambience_authenticator_cannot_express_small_thresholds():
+    """§II criticism 1: similarity barely distinguishes 0.5 m from 1.5 m
+    inside a room — no absolute distances."""
+    world = make_pair_world(distance_m=0.5, environment="office", seed=9)
+    auth = AmbienceAuthenticator()
+    rng = np.random.default_rng(2)
+    sim_near = auth.similarity(
+        world.device("auth"), world.device("vouch"),
+        world.environment, world.room, world.propagation, rng,
+    )
+    world2 = make_pair_world(distance_m=1.5, environment="office", seed=9)
+    sim_far = auth.similarity(
+        world2.device("auth"), world2.device("vouch"),
+        world2.environment, world2.room, world2.propagation, rng,
+    )
+    assert abs(sim_near - sim_far) < 0.45
+
+
+def test_ambience_injection_attack_raises_similarity():
+    """§II criticism 2: loud injected content forces high similarity."""
+    from repro.attacks.ambience_injection import AmbienceInjectionAttack
+    from repro.sim.geometry import Point
+
+    world = make_pair_world(distance_m=6.0, environment="office", seed=10)
+    attacker = world.add_device("boombox", Point(3.0, 0.0))
+    auth = AmbienceAuthenticator(threshold=0.6)
+    rng = np.random.default_rng(3)
+    honest = auth.similarity(
+        world.device("auth"), world.device("vouch"),
+        world.environment, world.room, world.propagation, rng,
+    )
+    injected = auth.similarity(
+        world.device("auth"), world.device("vouch"),
+        world.environment, world.room, world.propagation, rng,
+        extra_playbacks=AmbienceInjectionAttack(attacker).playbacks(
+            0.0, rng, world.config.sample_rate
+        ),
+    )
+    assert injected > honest
+    assert auth.decide(injected)

@@ -1,0 +1,198 @@
+"""Tests for messages, the secure channel, and the Bluetooth model."""
+
+import numpy as np
+import pytest
+
+from repro.comms.bluetooth import BluetoothLink, pair_devices
+from repro.comms.messages import (
+    PairingAck,
+    PairingCheck,
+    RangingInit,
+    VouchReport,
+    decode_message,
+    encode_message,
+)
+from repro.comms.secure_channel import (
+    SecureChannel,
+    SecureFrame,
+    generate_pairing_key,
+)
+from repro.core.exceptions import ChannelSecurityError, PairingError, ProtocolError
+from repro.devices.device import Device
+from repro.sim.geometry import Point
+
+
+# ------------------------------------------------------------- messages
+
+
+def test_ranging_init_roundtrip():
+    message = RangingInit(
+        session_id=7,
+        signal_auth_indices=(1, 5, 9),
+        signal_vouch_indices=(2, 4),
+        record_span_s=1.6,
+        vouch_play_offset_s=0.65,
+    )
+    decoded = decode_message(encode_message(message))
+    assert decoded == message
+    assert isinstance(decoded.signal_auth_indices, tuple)
+
+
+def test_vouch_report_roundtrip():
+    message = VouchReport(session_id=3, ok=True, delta_seconds=-0.123456)
+    assert decode_message(encode_message(message)) == message
+
+
+def test_pairing_messages_roundtrip():
+    for message in (PairingCheck(session_id=1), PairingAck(session_id=1)):
+        assert decode_message(encode_message(message)) == message
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        decode_message(b"not json")
+    with pytest.raises(ProtocolError):
+        decode_message(b'{"kind": "unknown", "body": {}}')
+    with pytest.raises(ProtocolError):
+        decode_message(b'{"kind": "vouch_report", "body": {"bogus": 1}}')
+
+
+# ------------------------------------------------------- secure channel
+
+
+def test_encrypt_decrypt_roundtrip(rng):
+    channel = SecureChannel(generate_pairing_key(rng))
+    frame = channel.encrypt(b"hello piano", rng)
+    assert channel.decrypt(frame) == b"hello piano"
+
+
+def test_ciphertext_hides_plaintext(rng):
+    channel = SecureChannel(generate_pairing_key(rng))
+    plaintext = b"secret frequency subset: 1 2 3"
+    frame = channel.encrypt(plaintext, rng)
+    assert plaintext not in frame.ciphertext
+    assert frame.ciphertext != plaintext
+
+
+def test_fresh_nonce_randomizes_ciphertext(rng):
+    channel = SecureChannel(generate_pairing_key(rng))
+    first = channel.encrypt(b"same message", rng)
+    second = channel.encrypt(b"same message", rng)
+    assert first.ciphertext != second.ciphertext
+
+
+def test_tampered_ciphertext_rejected(rng):
+    channel = SecureChannel(generate_pairing_key(rng))
+    frame = channel.encrypt(b"payload", rng)
+    tampered = SecureFrame(
+        nonce=frame.nonce,
+        ciphertext=bytes([frame.ciphertext[0] ^ 1]) + frame.ciphertext[1:],
+        tag=frame.tag,
+    )
+    with pytest.raises(ChannelSecurityError):
+        channel.decrypt(tampered)
+
+
+def test_wrong_key_rejected(rng):
+    frame = SecureChannel(generate_pairing_key(rng)).encrypt(b"x", rng)
+    other = SecureChannel(generate_pairing_key(rng))
+    with pytest.raises(ChannelSecurityError):
+        other.decrypt(frame)
+
+
+def test_frame_wire_roundtrip(rng):
+    channel = SecureChannel(generate_pairing_key(rng))
+    frame = channel.encrypt(b"wire", rng)
+    parsed = SecureFrame.from_bytes(frame.to_bytes())
+    assert channel.decrypt(parsed) == b"wire"
+
+
+def test_bad_key_length():
+    with pytest.raises(ChannelSecurityError):
+        SecureChannel(b"short")
+
+
+# ------------------------------------------------------------ bluetooth
+
+
+def _device(name, x):
+    return Device(name=name, position=Point(x, 0.0))
+
+
+def test_pairing_requires_proximity(rng):
+    near = _device("a", 0.0)
+    far = _device("b", 50.0)
+    with pytest.raises(PairingError):
+        pair_devices(near, far, rng)
+
+
+def test_pairing_rejects_self(rng):
+    device = _device("a", 0.0)
+    with pytest.raises(PairingError):
+        pair_devices(device, device, rng)
+
+
+def test_transfer_roundtrip_and_transcript(rng):
+    a, b = _device("a", 0.0), _device("b", 1.0)
+    link = pair_devices(a, b, rng)
+    message = VouchReport(session_id=1, ok=True, delta_seconds=0.5)
+    delivered, latency = link.transfer(message, rng)
+    assert delivered == message
+    assert 0.004 <= latency <= 0.020
+    assert len(link.transcript) == 1
+
+
+def test_transfer_fails_beyond_range(rng):
+    a, b = _device("a", 0.0), _device("b", 1.0)
+    link = pair_devices(a, b, rng)
+    b.move_to(Point(15.0, 0.0))
+    assert not link.in_range()
+    with pytest.raises(PairingError):
+        link.transfer(PairingCheck(session_id=1), rng)
+
+
+def test_link_works_again_when_back_in_range(rng):
+    a, b = _device("a", 0.0), _device("b", 1.0)
+    link = pair_devices(a, b, rng)
+    b.move_to(Point(50.0, 0.0))
+    with pytest.raises(PairingError):
+        link.transfer(PairingCheck(session_id=1), rng)
+    b.move_to(Point(2.0, 0.0))
+    delivered, _ = link.transfer(PairingCheck(session_id=2), rng)
+    assert delivered.session_id == 2
+
+
+def test_peer_of(rng):
+    a, b = _device("a", 0.0), _device("b", 1.0)
+    link = pair_devices(a, b, rng)
+    assert link.peer_of(a) is b
+    assert link.peer_of(b) is a
+    with pytest.raises(PairingError):
+        link.peer_of(_device("c", 0.0))
+
+
+def test_eavesdropper_sees_no_subset_structure(rng):
+    """The transcript (what a radio attacker captures) must not reveal the
+    candidate indices: flipping the subset changes nothing observable
+    except ciphertext bits, and ciphertexts look uniformly random-ish."""
+    a, b = _device("a", 0.0), _device("b", 1.0)
+    link = pair_devices(a, b, rng)
+    message = RangingInit(
+        session_id=1, signal_auth_indices=(0, 1, 2), signal_vouch_indices=(3,)
+    )
+    link.transfer(message, rng)
+    ciphertext = link.transcript[0].ciphertext
+    plaintext = encode_message(message)
+    # Same length (no padding oracle here), but content uncorrelated.
+    assert len(ciphertext) == len(plaintext)
+    matching = sum(c == p for c, p in zip(ciphertext, plaintext))
+    assert matching < len(plaintext) * 0.2
+
+
+def test_link_validation(rng):
+    a, b = _device("a", 0.0), _device("b", 1.0)
+    link = pair_devices(a, b, rng)
+    with pytest.raises(PairingError):
+        BluetoothLink(
+            device_a=a, device_b=b, channel=link.channel, range_m=-1.0
+        )

@@ -1,0 +1,88 @@
+"""Tests for the substrate-free ACTION protocol logic (repro.core.action)."""
+
+import numpy as np
+import pytest
+
+from repro.core.action import ActionRanging
+from repro.core.ranging import RangingStatus
+from repro.core.signal_construction import signal_from_indices
+
+
+@pytest.fixture()
+def action(config):
+    return ActionRanging(config)
+
+
+def _synthetic_recording(own, remote, own_at, remote_at, total=80_000, gain=0.5):
+    recording = np.zeros(total)
+    recording[own_at : own_at + own.samples.size] += own.samples
+    recording[remote_at : remote_at + remote.samples.size] += gain * remote.samples
+    return recording
+
+
+def test_construct_signals_independent(action, rng):
+    pair = action.construct_signals(rng)
+    assert pair.auth.samples.shape == pair.vouch.samples.shape
+    # Two fresh draws should (almost surely) differ.
+    pair2 = action.construct_signals(rng)
+    assert not (
+        pair.auth.same_frequencies(pair2.auth)
+        and pair.vouch.same_frequencies(pair2.vouch)
+    )
+
+
+def test_observe_locates_both_signals(action, config):
+    own = signal_from_indices([1, 6, 11, 16, 21], config)
+    remote = signal_from_indices([3, 8, 13, 18], config)
+    recording = _synthetic_recording(own, remote, own_at=10_000, remote_at=40_000)
+    obs = action.observe(recording, own, remote, config.sample_rate)
+    assert obs.complete
+    assert -60 <= obs.own.location - 10_000 <= config.fine_step
+    assert -60 <= obs.remote.location - 40_000 <= config.fine_step
+
+
+def test_observe_excludes_own_region_for_remote(action, config):
+    """Even when the remote subset is contained in the own subset, the
+    remote scan must not lock onto the (louder) own signal."""
+    own = signal_from_indices(list(range(0, 20)), config)
+    remote = signal_from_indices([2, 4, 6], config)  # subset of own's band
+    recording = _synthetic_recording(own, remote, own_at=8_000, remote_at=50_000, gain=0.4)
+    obs = action.observe(recording, own, remote, config.sample_rate)
+    assert obs.complete
+    assert -60 <= obs.remote.location - 50_000 <= config.fine_step
+
+
+def test_finalize_computes_eq3(action, config):
+    own = signal_from_indices([0, 5], config)
+    remote = signal_from_indices([10, 15], config)
+    fs, s = config.sample_rate, config.speed_of_sound
+    d = 1.2
+    delay = round(d / s * fs)
+    auth_rec = _synthetic_recording(own, remote, own_at=10_000, remote_at=40_000 + delay)
+    vouch_rec = _synthetic_recording(remote, own, own_at=40_000, remote_at=10_000 + delay)
+    auth_obs = action.observe(auth_rec, own, remote, fs)
+    vouch_obs = action.observe(vouch_rec, remote, own, fs)
+    outcome = action.finalize_with_observations(auth_obs, vouch_obs)
+    assert outcome.status is RangingStatus.OK
+    assert outcome.distance_m == pytest.approx(d, abs=0.08)
+
+
+def test_finalize_not_present_when_vouch_fails(action, config):
+    own = signal_from_indices([0, 5], config)
+    remote = signal_from_indices([10, 15], config)
+    recording = _synthetic_recording(own, remote, 10_000, 40_000)
+    auth_obs = action.observe(recording, own, remote, config.sample_rate)
+    outcome = action.finalize(auth_obs, vouch_ok=False, vouch_delta_seconds=0.0)
+    assert outcome.status is RangingStatus.SIGNAL_NOT_PRESENT
+    assert outcome.distance_m is None
+
+
+def test_finalize_not_present_when_auth_incomplete(action, config):
+    own = signal_from_indices([0, 5], config)
+    remote = signal_from_indices([10, 15], config)
+    recording = np.zeros(60_000)
+    recording[10_000:14_096] += own.samples  # remote never arrives
+    auth_obs = action.observe(recording, own, remote, config.sample_rate)
+    assert not auth_obs.complete
+    outcome = action.finalize(auth_obs, vouch_ok=True, vouch_delta_seconds=0.1)
+    assert outcome.status is RangingStatus.SIGNAL_NOT_PRESENT

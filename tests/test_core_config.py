@@ -1,0 +1,103 @@
+"""Tests for protocol/auth configuration (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import AuthConfig, PAPER_SPEED_OF_SOUND, ProtocolConfig, paper_config
+from repro.core.exceptions import ConfigurationError
+
+
+def test_paper_defaults():
+    cfg = paper_config()
+    assert cfg.sample_rate == 44_100.0
+    assert cfg.n_candidates == 30
+    assert (cfg.band_low, cfg.band_high) == (25_000.0, 35_000.0)
+    assert cfg.signal_length == 4096
+    assert cfg.reference_peak == 32_000.0
+    assert cfg.alpha == 0.01
+    assert cfg.beta_fraction == 0.005
+    assert cfg.epsilon == 0.01
+    assert cfg.theta == 5
+    assert (cfg.coarse_step, cfg.fine_step) == (1000, 10)
+
+
+def test_signal_duration_is_93ms():
+    assert paper_config().signal_duration == pytest.approx(0.0929, abs=1e-3)
+
+
+def test_tone_power_formula():
+    cfg = paper_config()
+    assert cfg.tone_power(10) == pytest.approx((32_000 / 10) ** 2)
+    assert cfg.beta(10) == pytest.approx(0.005 * (32_000 / 10) ** 2)
+
+
+def test_tone_power_bounds():
+    cfg = paper_config()
+    with pytest.raises(ConfigurationError):
+        cfg.tone_power(0)
+    with pytest.raises(ConfigurationError):
+        cfg.tone_power(30)
+
+
+def test_signal_length_must_be_power_of_two():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(signal_length=3000)
+
+
+def test_band_must_be_below_sample_rate():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(band_high=50_000.0)
+
+
+def test_fine_step_cannot_exceed_coarse():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(coarse_step=10, fine_step=100)
+
+
+def test_fine_radius_covers_coarse_step():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(fine_radius=100)
+
+
+def test_theta_overlap_rejected():
+    # 30 candidates over 10 kHz → ~31 FFT bins apart; θ=20 would overlap.
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(theta=20)
+
+
+def test_tone_bounds_validation():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(min_tones=0)
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(max_tones=30)
+
+
+def test_with_overrides_revalidates():
+    cfg = paper_config()
+    assert cfg.with_overrides(theta=3).theta == 3
+    with pytest.raises(ConfigurationError):
+        cfg.with_overrides(alpha=2.0)
+
+
+def test_samples_per_meter():
+    cfg = ProtocolConfig(speed_of_sound=343.0)
+    assert cfg.samples_per_meter == pytest.approx(44_100 / 343.0)
+
+
+def test_paper_speed_constant_documented():
+    assert PAPER_SPEED_OF_SOUND == 340.0
+
+
+def test_auth_config_defaults_and_validation():
+    auth = AuthConfig()
+    assert auth.threshold_m == 1.0
+    assert auth.bluetooth_range_m == 10.0
+    with pytest.raises(ConfigurationError):
+        AuthConfig(threshold_m=0.0)
+    with pytest.raises(ConfigurationError):
+        AuthConfig(threshold_m=11.0)
+    with pytest.raises(ConfigurationError):
+        AuthConfig(max_retries=-1)
+
+
+def test_auth_config_overrides():
+    assert AuthConfig().with_overrides(threshold_m=0.5).threshold_m == 0.5

@@ -1,0 +1,166 @@
+"""Tests for the frequency-based detector (Algorithms 1 & 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import FrequencyDetector, SignalHypothesis
+from repro.core.frequencies import build_frequency_plan
+from repro.core.signal_construction import signal_from_indices
+from repro.dsp.sine import synthesize_tone_sum
+
+
+def _embed(reference, total, at, gain=1.0, noise=0.0, rng=None):
+    recording = np.zeros(total)
+    if noise and rng is not None:
+        recording += rng.normal(0.0, noise, size=total)
+    recording[at : at + reference.samples.size] += gain * reference.samples
+    return recording
+
+
+@pytest.fixture()
+def detector(config):
+    return FrequencyDetector(config)
+
+
+def test_detects_clean_signal_at_exact_location(detector, config):
+    ref = signal_from_indices([2, 9, 17, 25], config)
+    recording = _embed(ref, 60_000, 21_340)
+    result = detector.detect_single(recording, ref)
+    assert result.present
+    # The onset pick sits at the plateau's left edge, slightly early by
+    # design (the bias cancels in Eq. 3).
+    assert -60 <= result.location - 21_340 <= config.fine_step
+
+
+def test_detects_attenuated_signal(detector, config, rng):
+    ref = signal_from_indices(list(range(0, 29, 3)), config)
+    recording = _embed(ref, 60_000, 9_000, gain=0.2, noise=20.0, rng=rng)
+    result = detector.detect_single(recording, ref)
+    assert result.present
+    assert -60 <= result.location - 9_000 <= config.fine_step
+
+
+def test_not_present_on_pure_noise(detector, config, rng):
+    ref = signal_from_indices([3, 8, 13], config)
+    recording = rng.normal(0.0, 50.0, size=60_000)
+    result = detector.detect_single(recording, ref)
+    assert not result.present
+    assert result.location is None
+
+
+def test_not_present_below_alpha_attenuation(detector, config):
+    ref = signal_from_indices([1, 6, 11, 16], config)
+    # α = 1 % on power → amplitude gain 0.1 is the detection floor.
+    recording = _embed(ref, 60_000, 10_000, gain=0.03)
+    result = detector.detect_single(recording, ref)
+    assert not result.present
+
+
+def test_wrong_subset_is_rejected(detector, config):
+    played = signal_from_indices([0, 4, 8, 12], config)
+    expected = signal_from_indices([1, 5, 9, 13], config)
+    recording = _embed(played, 60_000, 15_000)
+    result = detector.detect_single(recording, expected)
+    assert not result.present
+
+
+def test_all_frequency_blanket_fails_beta_check(detector, config):
+    """§V: a spoof containing every candidate frequency must never be
+    accepted as a reference signal, at any power."""
+    plan = build_frequency_plan(config)
+    ref = signal_from_indices([2, 7, 12], config)
+    for amplitude in (5.0, 300.0, 3000.0):
+        spoof = synthesize_tone_sum(
+            plan.frequencies,
+            np.full(30, amplitude),
+            60_000,
+            config.sample_rate,
+        )
+        result = detector.detect_single(spoof, ref)
+        assert not result.present, f"spoof accepted at amplitude {amplitude}"
+
+
+def test_two_signals_one_scan(detector, config):
+    ref_a = signal_from_indices([0, 3, 6, 9], config)
+    ref_b = signal_from_indices([15, 18, 21], config)
+    recording = np.zeros(80_000)
+    recording[10_000 : 10_000 + 4096] += ref_a.samples
+    recording[50_000 : 50_000 + 4096] += ref_b.samples
+    results = detector.detect(recording, [ref_a, ref_b], ["A", "B"])
+    assert -60 <= results[0].location - 10_000 <= config.fine_step
+    assert -60 <= results[1].location - 50_000 <= config.fine_step
+    assert results[0].label == "A"
+
+
+def test_exclusion_zone_masks_region(detector, config):
+    ref = signal_from_indices([5, 10, 15], config)
+    recording = np.zeros(60_000)
+    recording[20_000 : 20_000 + 4096] += ref.samples
+    zones = [[(15_000, 26_000)]]
+    result = detector.detect(recording, [ref], ["S"], exclusion_zones=zones)[0]
+    assert not result.present
+
+
+def test_recording_shorter_than_window_yields_not_present(detector, config):
+    ref = signal_from_indices([1], config)
+    result = detector.detect_single(np.zeros(100), ref)
+    assert not result.present
+    assert result.windows_scanned == 0
+
+
+def test_hypothesis_requires_proper_subset(config):
+    plan = build_frequency_plan(config)
+    with pytest.raises(ValueError):
+        SignalHypothesis(
+            member_mask=np.ones(30, dtype=bool),
+            tone_power=1.0,
+            beta=0.005,
+            total_power=30.0,
+        )
+    with pytest.raises(ValueError):
+        SignalHypothesis(
+            member_mask=np.zeros(30, dtype=bool),
+            tone_power=1.0,
+            beta=0.005,
+            total_power=0.0,
+        )
+
+
+def test_normalized_powers_shape_validation(detector, config):
+    ref = signal_from_indices([0, 1], config)
+    plan = build_frequency_plan(config)
+    hyp = SignalHypothesis.from_reference(ref, plan)
+    with pytest.raises(ValueError):
+        detector.normalized_powers(np.zeros((5, 7)), hyp)
+
+
+def test_scan_profile_peaks_at_signal(detector, config):
+    ref = signal_from_indices([4, 14, 24], config)
+    recording = _embed(ref, 40_000, 12_000)
+    starts, scores = detector.scan_profile(recording, ref, step=500)
+    finite = np.isfinite(scores)
+    assert finite.any()
+    best = starts[np.nanargmax(np.where(finite, scores, -np.inf))]
+    assert abs(best - 12_000) <= 500
+
+
+def test_threshold_is_epsilon_times_total_power(detector, config):
+    ref = signal_from_indices([2, 4], config)
+    result = detector.detect_single(np.zeros(20_000), ref)
+    assert result.threshold == pytest.approx(config.epsilon * ref.total_power)
+
+
+def test_localization_cap_protects_own_scan(detector, config):
+    """A loud single-tone alien signal whose tone lies inside the
+    hypothesis's subset must not out-score the true (weaker) signal."""
+    target = signal_from_indices(list(range(20)), config)
+    alien = signal_from_indices([5], config)  # huge per-tone power
+    recording = np.zeros(80_000)
+    recording[10_000 : 10_000 + 4096] += 0.5 * target.samples
+    recording[60_000 : 60_000 + 4096] += alien.samples
+    result = detector.detect_single(recording, target)
+    assert result.present
+    # The flat near-peak top of a partially-overlapped strong signal can
+    # extend ~120 samples before the nominal start; the onset pick lands
+    # on its left edge (shared bias, cancelled by Eq. 3).
+    assert -140 <= result.location - 10_000 <= config.fine_step

@@ -1,0 +1,81 @@
+"""Tests for the candidate-frequency plan (repro.core.frequencies)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.frequencies import build_frequency_plan
+from repro.dsp.fft import power_spectrum
+from repro.dsp.sine import synthesize_sine
+
+
+def test_thirty_bin_centers(plan):
+    assert plan.n_candidates == 30
+    assert plan.bin_width_hz == pytest.approx(10_000 / 30)
+    assert plan.frequencies[0] == pytest.approx(25_000 + 10_000 / 60)
+    assert plan.frequencies[-1] == pytest.approx(35_000 - 10_000 / 60)
+
+
+def test_frequencies_ascending_and_inside_band(plan, config):
+    assert np.all(np.diff(plan.frequencies) > 0)
+    assert np.all(plan.frequencies > config.band_low)
+    assert np.all(plan.frequencies < config.band_high)
+
+
+def test_fft_bins_match_paper_formula(plan, config):
+    expected = np.floor(
+        plan.frequencies / config.sample_rate * config.signal_length
+    ).astype(int)
+    np.testing.assert_array_equal(plan.fft_bins, expected)
+
+
+def test_aggregation_matrix_shape(plan, config):
+    assert plan.aggregation_bins.shape == (30, 2 * config.theta + 1)
+
+
+def test_aggregation_windows_disjoint(plan):
+    flattened = plan.aggregation_bins.ravel()
+    assert flattened.size == np.unique(flattened).size
+
+
+def test_candidate_powers_measures_single_tone(plan, config):
+    index = 7
+    tone = synthesize_sine(
+        plan.frequencies[index], 100.0, config.signal_length, config.sample_rate
+    )
+    powers = plan.candidate_powers(power_spectrum(tone))
+    assert powers[index] == pytest.approx(100.0**2, rel=0.1)
+    others = np.delete(powers, index)
+    assert np.max(others) < 0.01 * powers[index]
+
+
+def test_candidate_powers_rejects_wrong_length(plan):
+    with pytest.raises(ValueError):
+        plan.candidate_powers(np.zeros(100))
+
+
+def test_member_mask(plan):
+    mask = plan.member_mask(np.array([0, 5, 29]))
+    assert mask.sum() == 3
+    assert mask[0] and mask[5] and mask[29]
+
+
+def test_index_of_frequency_roundtrip(plan):
+    for i in (0, 13, 29):
+        assert plan.index_of_frequency(float(plan.frequencies[i])) == i
+
+
+def test_index_of_frequency_rejects_noncandidates(plan):
+    with pytest.raises(ConfigurationError):
+        plan.index_of_frequency(26_000.0)
+
+
+def test_plan_cached_per_config():
+    cfg = ProtocolConfig()
+    assert build_frequency_plan(cfg) is build_frequency_plan(ProtocolConfig())
+
+
+def test_plan_arrays_immutable(plan):
+    with pytest.raises(ValueError):
+        plan.frequencies[0] = 0.0

@@ -1,0 +1,139 @@
+"""Tests for the PIANO decision layer (repro.core.piano)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AuthConfig
+from repro.core.decisions import AuthDecision, DenyReason
+from repro.core.piano import PianoAuthenticator, PreAuthenticator
+from repro.core.ranging import RangingOutcome, RangingStatus
+from repro.devices.sensors import PickupDetector, synthesize_pickup_trace
+
+
+class _Pairing:
+    def __init__(self, paired=True, reachable=True):
+        self._paired = paired
+        self._reachable = reachable
+
+    def is_paired(self):
+        return self._paired
+
+    def in_range(self):
+        return self._reachable
+
+
+def _ranger(distance=0.8, status=RangingStatus.OK):
+    def run():
+        return RangingOutcome(
+            status=status,
+            distance_m=distance if status is RangingStatus.OK else None,
+            elapsed_s=3.0,
+            energy_j=2.0,
+        )
+
+    return run
+
+
+def test_grant_within_threshold():
+    result = PianoAuthenticator(AuthConfig(threshold_m=1.0)).authenticate(
+        _Pairing(), _ranger(distance=0.8)
+    )
+    assert result.decision is AuthDecision.GRANT
+    assert result.reason is DenyReason.NONE
+    assert result.granted
+
+
+def test_deny_beyond_threshold():
+    result = PianoAuthenticator(AuthConfig(threshold_m=0.5)).authenticate(
+        _Pairing(), _ranger(distance=0.8)
+    )
+    assert result.reason is DenyReason.DISTANCE_EXCEEDS_THRESHOLD
+    assert result.distance_m == 0.8
+
+
+def test_deny_not_paired_skips_ranging():
+    calls = []
+
+    def ranger():
+        calls.append(1)
+        return RangingOutcome(status=RangingStatus.OK, distance_m=0.1)
+
+    result = PianoAuthenticator().authenticate(_Pairing(paired=False), ranger)
+    assert result.reason is DenyReason.NOT_PAIRED
+    assert not calls
+
+
+def test_deny_out_of_bluetooth_range_skips_ranging():
+    result = PianoAuthenticator().authenticate(
+        _Pairing(reachable=False), _ranger()
+    )
+    assert result.reason is DenyReason.OUT_OF_BLUETOOTH_RANGE
+    assert result.rounds == 0
+
+
+def test_deny_signal_not_present():
+    result = PianoAuthenticator().authenticate(
+        _Pairing(), _ranger(status=RangingStatus.SIGNAL_NOT_PRESENT)
+    )
+    assert result.reason is DenyReason.SIGNAL_NOT_PRESENT
+
+
+def test_deny_bluetooth_drop_mid_protocol():
+    result = PianoAuthenticator().authenticate(
+        _Pairing(), _ranger(status=RangingStatus.BLUETOOTH_UNAVAILABLE)
+    )
+    assert result.reason is DenyReason.OUT_OF_BLUETOOTH_RANGE
+
+
+def test_deny_tampered_channel():
+    result = PianoAuthenticator().authenticate(
+        _Pairing(), _ranger(status=RangingStatus.CHANNEL_TAMPERED)
+    )
+    assert result.reason is DenyReason.CHANNEL_TAMPERED
+
+
+def test_retries_on_not_present():
+    outcomes = [
+        RangingOutcome(status=RangingStatus.SIGNAL_NOT_PRESENT),
+        RangingOutcome(status=RangingStatus.OK, distance_m=0.6),
+    ]
+
+    def ranger():
+        return outcomes.pop(0)
+
+    result = PianoAuthenticator(AuthConfig(max_retries=1)).authenticate(
+        _Pairing(), ranger
+    )
+    assert result.granted
+    assert result.rounds == 2
+
+
+def test_no_retry_by_default():
+    result = PianoAuthenticator().authenticate(
+        _Pairing(), _ranger(status=RangingStatus.SIGNAL_NOT_PRESENT)
+    )
+    assert result.rounds == 1
+
+
+def test_costs_accumulate_over_rounds():
+    result = PianoAuthenticator(AuthConfig(max_retries=0)).authenticate(
+        _Pairing(), _ranger()
+    )
+    assert result.elapsed_s == pytest.approx(3.0)
+    assert result.energy_j == pytest.approx(2.0)
+
+
+def test_preauthenticator_plans_at_pickup():
+    rng = np.random.default_rng(0)
+    trace = synthesize_pickup_trace(rng, pickup_time_s=6.0)
+    plan = PreAuthenticator(PickupDetector(), ranging_latency_s=3.0).plan(trace)
+    assert plan["pickup_detected_s"] == pytest.approx(6.0, abs=0.5)
+    assert plan["latency_hidden_s"] > 0
+
+
+def test_preauthenticator_no_pickup():
+    rng = np.random.default_rng(1)
+    trace = synthesize_pickup_trace(rng, pickup_time_s=None)
+    plan = PreAuthenticator(PickupDetector()).plan(trace)
+    assert plan["pickup_detected_s"] is None
+    assert plan["latency_hidden_s"] == 0.0

@@ -1,0 +1,89 @@
+"""Tests for Step VI distance math (repro.core.ranging)."""
+
+import pytest
+
+from repro.core.detection import DetectionResult
+from repro.core.ranging import (
+    DeviceObservation,
+    RangingOutcome,
+    RangingStatus,
+    distance_one_way,
+    estimate_distance,
+)
+
+
+def _result(location):
+    return DetectionResult(
+        location=location, peak_power=1.0, threshold=0.1, windows_scanned=10
+    )
+
+
+def _observation(own, remote, fs=44_100.0):
+    return DeviceObservation(own=_result(own), remote=_result(remote), sample_rate=fs)
+
+
+def test_eq3_recovers_distance_with_clock_offsets():
+    """Construct locations from physical timings with arbitrary clock
+    offsets; Eq. 3 must recover the true distance exactly."""
+    fs, s = 44_100.0, 343.0
+    d = 1.5
+    play_a, play_v = 100.0, 100.6  # world times
+    # Device A's buffer starts at an arbitrary world time.
+    a_start, v_start = 99.8, 99.9
+    l_aa = round((play_a - a_start) * fs)
+    l_av = round((play_v + d / s - a_start) * fs)
+    l_vv = round((play_v - v_start) * fs)
+    l_va = round((play_a + d / s - v_start) * fs)
+    auth = _observation(own=l_aa, remote=l_av)
+    vouch = _observation(own=l_vv, remote=l_va)
+    estimate = estimate_distance(auth, vouch, s)
+    assert estimate == pytest.approx(d, abs=0.01)
+
+
+def test_eq3_immune_to_recording_start_offsets():
+    """Shifting one device's buffer start (clock offset) by any amount
+    changes both its locations equally and cancels in Eq. 3."""
+    fs, s = 44_100.0, 343.0
+    auth = _observation(own=10_000, remote=30_000)
+    vouch = _observation(own=25_000, remote=6_000)
+    base = estimate_distance(auth, vouch, s)
+    shifted = _observation(own=25_000 + 7_777, remote=6_000 + 7_777)
+    assert estimate_distance(auth, vouch, s) == pytest.approx(
+        estimate_distance(auth, shifted, s)
+    )
+    assert base == estimate_distance(auth, vouch, s)
+
+
+def test_local_delta_uses_own_sample_rate():
+    obs = _observation(own=0, remote=44_100, fs=44_100.0)
+    assert obs.local_delta_seconds == pytest.approx(1.0)
+    obs_fast = _observation(own=0, remote=44_100, fs=88_200.0)
+    assert obs_fast.local_delta_seconds == pytest.approx(0.5)
+
+
+def test_incomplete_observation_rejects_delta():
+    obs = DeviceObservation(
+        own=_result(None), remote=_result(100), sample_rate=44_100.0
+    )
+    assert not obs.complete
+    with pytest.raises(ValueError):
+        _ = obs.local_delta_seconds
+
+
+def test_one_way_estimator_needs_synchronization():
+    """The paper's point: 10 ms of clock error costs > 3 m."""
+    s = 343.0
+    true_delay = 1.0 / s  # one meter
+    assert distance_one_way(true_delay, 0.0, s) == pytest.approx(1.0)
+    skewed = distance_one_way(true_delay + 0.010, 0.0, s)
+    assert skewed - 1.0 > 3.0
+
+
+def test_outcome_require_distance():
+    ok = RangingOutcome(status=RangingStatus.OK, distance_m=1.25)
+    assert ok.require_distance() == 1.25
+    assert ok.ok
+    bot = RangingOutcome(status=RangingStatus.SIGNAL_NOT_PRESENT)
+    assert not bot.ok
+    with pytest.raises(ValueError):
+        bot.require_distance()

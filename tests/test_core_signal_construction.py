@@ -1,0 +1,85 @@
+"""Tests for reference-signal construction (repro.core.signal_construction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.signal_construction import (
+    construct_reference_signal,
+    signal_from_indices,
+)
+
+
+def test_constructed_signal_shape(config, rng):
+    ref = construct_reference_signal(config, rng)
+    assert ref.samples.shape == (config.signal_length,)
+    assert 1 <= ref.n_tones <= 29
+
+
+def test_tone_power_matches_paper(config, rng):
+    ref = construct_reference_signal(config, rng)
+    assert ref.tone_power == pytest.approx((32_000 / ref.n_tones) ** 2)
+    assert ref.total_power == pytest.approx(ref.n_tones * ref.tone_power)
+    assert ref.beta == pytest.approx(0.005 * ref.tone_power)
+
+
+def test_peak_amplitude_bounded_by_reference_peak(config, rng):
+    for _ in range(5):
+        ref = construct_reference_signal(config, rng)
+        assert np.max(np.abs(ref.samples)) <= config.reference_peak + 1e-6
+
+
+def test_indices_sorted_unique(config, rng):
+    ref = construct_reference_signal(config, rng)
+    assert np.all(np.diff(ref.candidate_indices) > 0)
+
+
+def test_randomization_between_draws(config, rng):
+    refs = [construct_reference_signal(config, rng) for _ in range(8)]
+    subsets = {tuple(r.candidate_indices.tolist()) for r in refs}
+    assert len(subsets) > 1, "two draws with identical subsets 8 times is wrong"
+
+
+def test_signal_from_indices_deterministic(config):
+    a = signal_from_indices([1, 5, 9], config)
+    b = signal_from_indices([1, 5, 9], config)
+    np.testing.assert_array_equal(a.samples, b.samples)
+    assert a.same_frequencies(b)
+
+
+def test_signal_from_indices_validation(config):
+    with pytest.raises(ConfigurationError):
+        signal_from_indices([], config)
+    with pytest.raises(ConfigurationError):
+        signal_from_indices([0, 0], config)
+    with pytest.raises(ConfigurationError):
+        signal_from_indices([30], config)
+
+
+def test_frequencies_accessor(config):
+    ref = signal_from_indices([0, 29], config)
+    freqs = ref.frequencies()
+    assert freqs.shape == (2,)
+    assert freqs[0] < freqs[1]
+
+
+def test_same_frequencies_differs(config):
+    a = signal_from_indices([1, 2], config)
+    b = signal_from_indices([1, 3], config)
+    c = signal_from_indices([1, 2, 3], config)
+    assert not a.same_frequencies(b)
+    assert not a.same_frequencies(c)
+
+
+def test_samples_immutable(config):
+    ref = signal_from_indices([4], config)
+    with pytest.raises(ValueError):
+        ref.samples[0] = 1.0
+
+
+def test_tone_count_respects_config_bounds(rng):
+    config = ProtocolConfig(min_tones=5, max_tones=7)
+    for _ in range(10):
+        ref = construct_reference_signal(config, rng)
+        assert 5 <= ref.n_tones <= 7

@@ -1,0 +1,195 @@
+"""Tests for the device substrate (clock, audio, battery, device, sensors)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.audio import MicrophoneSpec, ResponseRipple, SpeakerSpec
+from repro.devices.battery import (
+    BatteryModel,
+    ComponentPower,
+    EnergyLedger,
+    PhaseDurations,
+    S4_BATTERY_JOULES,
+)
+from repro.devices.clock import DeviceClock
+from repro.devices.device import Device, OsAudioPath
+from repro.devices.sensors import PickupDetector, synthesize_pickup_trace
+from repro.sim.geometry import Point
+from repro.sim.rng import RngFactory
+
+
+# ---------------------------------------------------------------- clock
+
+
+def test_clock_affine_mapping_roundtrip():
+    clock = DeviceClock(offset_s=120.0, skew_ppm=25.0)
+    for world in (0.0, 1.0, 1000.0):
+        assert clock.world_from_local(clock.local_from_world(world)) == pytest.approx(world)
+
+
+def test_clock_true_sample_rate():
+    clock = DeviceClock(skew_ppm=100.0, nominal_sample_rate=44_100.0)
+    assert clock.true_sample_rate == pytest.approx(44_100.0 * 1.0001)
+
+
+def test_clock_sample_index_independent_of_offset():
+    fast = DeviceClock(offset_s=500.0, skew_ppm=0.0)
+    slow = DeviceClock(offset_s=0.0, skew_ppm=0.0)
+    assert fast.sample_index(10.5, 10.0) == slow.sample_index(10.5, 10.0)
+
+
+def test_clock_random_within_bounds():
+    rng = np.random.default_rng(0)
+    clock = DeviceClock.random(rng, max_offset_s=60.0, skew_std_ppm=10.0)
+    assert 0 <= clock.offset_s <= 60.0
+    assert abs(clock.skew_ppm) < 100.0
+
+
+# ---------------------------------------------------------------- audio
+
+
+def test_speaker_radiate_applies_gain_and_clips():
+    speaker = SpeakerSpec(gain=0.5, max_output=100.0)
+    out = speaker.radiate(np.array([100.0, 500.0, -500.0]))
+    np.testing.assert_allclose(out, [50.0, 100.0, -100.0])
+
+
+def test_speaker_validation():
+    with pytest.raises(ValueError):
+        SpeakerSpec(gain=0.0)
+    with pytest.raises(ValueError):
+        SpeakerSpec(self_gap_m=-0.1)
+
+
+def test_microphone_self_noise_statistics():
+    mic = MicrophoneSpec(self_noise_std=10.0)
+    noise = mic.self_noise(50_000, np.random.default_rng(0))
+    assert np.std(noise) == pytest.approx(10.0, rel=0.05)
+
+
+def test_microphone_zero_noise():
+    mic = MicrophoneSpec(self_noise_std=0.0)
+    assert np.all(mic.self_noise(100, np.random.default_rng(0)) == 0)
+
+
+def test_ripple_bounds_and_flat():
+    rng = np.random.default_rng(1)
+    ripple = ResponseRipple.random(rng, 30, ripple_db=2.0)
+    assert ripple.gains.shape == (30,)
+    assert np.all(ripple.gains >= 10 ** (-2 / 20) - 1e-9)
+    assert np.all(ripple.gains <= 10 ** (2 / 20) + 1e-9)
+    flat = ResponseRipple.flat(30)
+    assert flat.gain_at(7) == 1.0
+
+
+def test_ripple_validation():
+    with pytest.raises(ValueError):
+        ResponseRipple(np.array([1.0, 0.0]))
+
+
+# ---------------------------------------------------------------- battery
+
+
+def test_phase_energy_sums_components():
+    phases = PhaseDurations(
+        speaker_s=0.1, microphone_s=1.0, cpu_s=0.5, bluetooth_s=0.2, total_s=3.0
+    )
+    power = ComponentPower(
+        speaker_w=1.0, microphone_w=1.0, cpu_w=1.0, bluetooth_w=1.0, idle_w=1.0
+    )
+    assert phases.energy_joules(power) == pytest.approx(0.1 + 1.0 + 0.5 + 0.2 + 3.0)
+
+
+def test_default_energy_model_matches_paper_ballpark():
+    """With default component powers and prototype-like durations, 100
+    authentications should land near the paper's 0.6 % of an S4 battery."""
+    phases = PhaseDurations(
+        speaker_s=0.093, microphone_s=1.6, cpu_s=0.7, bluetooth_s=0.25, total_s=3.0
+    )
+    energy = phases.energy_joules(ComponentPower())
+    percent = 100 * 100 * energy / S4_BATTERY_JOULES
+    assert 0.3 < percent < 1.2
+
+
+def test_battery_drain_and_clamp():
+    battery = BatteryModel(capacity_j=10.0)
+    battery.drain(4.0)
+    assert battery.percent_consumed == pytest.approx(40.0)
+    battery.drain(100.0)
+    assert battery.consumed_j == 10.0
+    with pytest.raises(ValueError):
+        battery.drain(-1.0)
+
+
+def test_energy_ledger():
+    ledger = EnergyLedger()
+    ledger.record(2.0)
+    ledger.record(3.0)
+    assert ledger.count == 2
+    assert ledger.mean_j() == pytest.approx(2.5)
+    assert ledger.battery_percent(capacity_j=100.0) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        ledger.record(-1.0)
+
+
+# ---------------------------------------------------------------- device
+
+
+def test_device_random_is_reproducible():
+    rngs = RngFactory(seed=5)
+    a = Device.random("phone", Point(0, 0), rngs)
+    b = Device.random("phone", Point(0, 0), RngFactory(seed=5))
+    assert a.speaker.gain == b.speaker.gain
+    assert a.clock.offset_s == b.clock.offset_s
+    np.testing.assert_array_equal(a.ripple.gains, b.ripple.gains)
+
+
+def test_device_random_differs_across_names():
+    rngs = RngFactory(seed=5)
+    a = Device.random("phone", Point(0, 0), rngs)
+    c = Device.random("watch", Point(0, 0), rngs)
+    assert a.speaker.gain != c.speaker.gain
+
+
+def test_device_distance_and_move():
+    a = Device(name="a", position=Point(0, 0))
+    b = Device(name="b", position=Point(3, 4))
+    assert a.distance_to(b) == pytest.approx(5.0)
+    b.move_to(Point(0, 1))
+    assert a.distance_to(b) == pytest.approx(1.0)
+
+
+def test_os_audio_latency_draws_within_bounds():
+    path = OsAudioPath(playback_latency_range=(0.01, 0.02))
+    rng = np.random.default_rng(0)
+    draws = [path.draw_playback_latency(rng) for _ in range(100)]
+    assert min(draws) >= 0.01
+    assert max(draws) <= 0.02
+    assert path.mean_playback_latency == pytest.approx(0.015)
+
+
+def test_os_audio_validation():
+    with pytest.raises(ValueError):
+        OsAudioPath(playback_latency_range=(0.2, 0.1))
+
+
+# ---------------------------------------------------------------- sensors
+
+
+def test_pickup_detector_finds_transient():
+    rng = np.random.default_rng(2)
+    trace = synthesize_pickup_trace(rng, pickup_time_s=4.0)
+    detected = PickupDetector().detect(trace)
+    assert detected == pytest.approx(4.0, abs=0.5)
+
+
+def test_pickup_detector_quiet_trace():
+    rng = np.random.default_rng(3)
+    trace = synthesize_pickup_trace(rng, pickup_time_s=None)
+    assert PickupDetector().detect(trace) is None
+
+
+def test_pickup_trace_validation():
+    rng = np.random.default_rng(4)
+    with pytest.raises(ValueError):
+        synthesize_pickup_trace(rng, duration_s=2.0, pickup_time_s=5.0)

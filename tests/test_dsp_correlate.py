@@ -1,0 +1,69 @@
+"""Tests for cross-correlation detection (repro.dsp.correlate)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.correlate import (
+    best_alignment,
+    cross_correlation,
+    normalized_cross_correlation,
+)
+
+
+def _embed(reference: np.ndarray, total: int, at: int) -> np.ndarray:
+    recording = np.zeros(total)
+    recording[at : at + reference.size] = reference
+    return recording
+
+
+def test_cross_correlation_peak_at_embedding():
+    rng = np.random.default_rng(0)
+    reference = rng.normal(size=256)
+    recording = _embed(reference, 2048, 700)
+    scores = cross_correlation(recording, reference)
+    assert int(np.argmax(scores)) == 700
+
+
+def test_cross_correlation_matches_naive():
+    rng = np.random.default_rng(1)
+    reference = rng.normal(size=16)
+    recording = rng.normal(size=64)
+    fast = cross_correlation(recording, reference)
+    naive = np.array(
+        [recording[i : i + 16] @ reference for i in range(64 - 16 + 1)]
+    )
+    np.testing.assert_allclose(fast, naive, atol=1e-9)
+
+
+def test_ncc_perfect_match_scores_one():
+    rng = np.random.default_rng(2)
+    reference = rng.normal(size=128)
+    recording = _embed(reference, 1024, 100)
+    index, score = best_alignment(recording, reference)
+    assert index == 100
+    assert score == pytest.approx(1.0, abs=1e-6)
+
+
+def test_ncc_in_unit_interval():
+    rng = np.random.default_rng(3)
+    reference = rng.normal(size=64)
+    recording = rng.normal(size=512)
+    ncc = normalized_cross_correlation(recording, reference)
+    assert np.all(ncc <= 1.0 + 1e-9)
+    assert np.all(ncc >= -1.0 - 1e-9)
+
+
+def test_ncc_robust_to_loud_unrelated_content():
+    rng = np.random.default_rng(4)
+    reference = rng.normal(size=128)
+    recording = _embed(reference, 2048, 1500)
+    recording[:500] += rng.normal(scale=50.0, size=500)  # loud noise burst
+    index, _ = best_alignment(recording, reference)
+    assert index == 1500
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        cross_correlation(np.ones(4), np.ones(8))
+    with pytest.raises(ValueError):
+        cross_correlation(np.ones(4), np.ones(0))

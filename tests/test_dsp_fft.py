@@ -1,0 +1,92 @@
+"""Tests for the power-spectrum conventions (repro.dsp.fft)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fft import (
+    amplitude_spectrum,
+    bin_of_frequency,
+    frequency_of_bin,
+    power_spectrum,
+    total_power,
+)
+from repro.dsp.sine import synthesize_sine
+
+FS = 44_100.0
+N = 4096
+
+
+def test_bin_centered_sine_peaks_at_amplitude_squared():
+    k0 = 300
+    freq = k0 * FS / N
+    sine = synthesize_sine(freq, amplitude=5.0, n_samples=N, sample_rate=FS)
+    power = power_spectrum(sine)
+    assert power[k0] == pytest.approx(25.0, rel=1e-6)
+    assert power[N - k0] == pytest.approx(25.0, rel=1e-6)
+
+
+def test_off_bin_sine_energy_recovered_by_neighbourhood_sum():
+    freq = 300.4 * FS / N  # deliberately between bins
+    sine = synthesize_sine(freq, amplitude=3.0, n_samples=N, sample_rate=FS)
+    power = power_spectrum(sine)
+    cluster = power[294:308].sum()
+    assert cluster == pytest.approx(9.0, rel=0.05)
+
+
+def test_above_nyquist_sine_lands_at_paper_bin():
+    """The aliasing bookkeeping of DESIGN.md §3: 25–35 kHz maps into the
+    mirrored upper FFT half exactly where ⌊f/fs·N⌋ points."""
+    freq = 30_000.0
+    sine = synthesize_sine(freq, amplitude=2.0, n_samples=N, sample_rate=FS)
+    power = power_spectrum(sine)
+    k = bin_of_frequency(freq, FS, N)
+    assert power[k - 5 : k + 6].sum() == pytest.approx(4.0, rel=0.05)
+
+
+def test_bin_of_frequency_matches_floor_formula():
+    assert bin_of_frequency(25_166.67, FS, N) == int(
+        np.floor(25_166.67 / FS * N)
+    )
+
+
+def test_bin_of_frequency_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        bin_of_frequency(-1.0, FS, N)
+    with pytest.raises(ValueError):
+        bin_of_frequency(FS, FS, N)
+
+
+def test_frequency_of_bin_inverse():
+    k = 1234
+    freq = frequency_of_bin(k, FS, N)
+    assert bin_of_frequency(freq, FS, N) == k
+
+
+def test_frequency_of_bin_bounds():
+    with pytest.raises(ValueError):
+        frequency_of_bin(N, FS, N)
+
+
+def test_amplitude_spectrum_is_sqrt_of_power():
+    rng = np.random.default_rng(0)
+    window = rng.normal(size=N)
+    np.testing.assert_allclose(
+        amplitude_spectrum(window) ** 2, power_spectrum(window), rtol=1e-10
+    )
+
+
+def test_power_spectrum_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        power_spectrum(np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        power_spectrum(np.zeros(0))
+
+
+def test_total_power_scales_with_amplitude():
+    sine1 = synthesize_sine(1000.0, 1.0, N, FS)
+    sine2 = synthesize_sine(1000.0, 2.0, N, FS)
+    assert total_power(sine2) == pytest.approx(4 * total_power(sine1), rel=1e-9)
+
+
+def test_zero_window_zero_power():
+    assert total_power(np.zeros(N)) == 0.0

@@ -1,0 +1,109 @@
+"""Tests for channel filters (repro.dsp.filters)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fft import power_spectrum
+from repro.dsp.filters import (
+    ChannelFilter,
+    apply_fir,
+    random_channel_filter,
+    random_dispersive_channel,
+)
+from repro.dsp.sine import synthesize_sine
+
+
+def test_apply_fir_full_length():
+    out = apply_fir(np.ones(10), np.array([1.0, 0.5]))
+    assert out.shape == (11,)
+    assert out[0] == 1.0
+
+
+def test_apply_fir_identity():
+    signal = np.arange(5.0)
+    np.testing.assert_allclose(apply_fir(signal, np.array([1.0])), signal)
+
+
+def test_apply_fir_rejects_empty_taps():
+    with pytest.raises(ValueError):
+        apply_fir(np.ones(4), np.array([]))
+
+
+def test_channel_filter_validation():
+    with pytest.raises(ValueError):
+        ChannelFilter(taps=np.zeros((2, 2)))
+
+
+def test_random_channel_filter_direct_tap_is_unit():
+    rng = np.random.default_rng(0)
+    channel = random_channel_filter(rng)
+    assert channel.taps[0] == 1.0
+    assert channel.length > 1
+
+
+def test_random_channel_filter_echo_ratio_scales_with_strength():
+    weak = random_channel_filter(np.random.default_rng(1), reflection_strength=0.05)
+    strong = random_channel_filter(np.random.default_rng(1), reflection_strength=0.5)
+    assert strong.echo_energy_ratio > weak.echo_energy_ratio
+
+
+def test_random_channel_filter_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        random_channel_filter(rng, n_reflections=-1)
+    with pytest.raises(ValueError):
+        random_channel_filter(rng, max_spread_samples=0)
+
+
+def test_dispersive_channel_near_unit_energy():
+    rng = np.random.default_rng(2)
+    channel = random_dispersive_channel(rng, max_group_delay=40)
+    energy = float(np.sum(channel.taps**2))
+    assert 0.8 < energy < 1.2
+
+
+def test_dispersive_channel_support_bounded():
+    rng = np.random.default_rng(3)
+    channel = random_dispersive_channel(rng, max_group_delay=30, tail_samples=96)
+    assert channel.length <= 30 + 96
+
+
+def test_dispersive_channel_preserves_tone_band_power():
+    """The frequency-smoothing model must keep each tone's aggregated
+    power (what Algorithm 2 measures) close to the original."""
+    fs, n = 44_100.0, 4096
+    rng = np.random.default_rng(4)
+    channel = random_dispersive_channel(rng, max_group_delay=30, ripple_db=0.8)
+    tone = synthesize_sine(30_000.0, 1000.0, n, fs)
+    received = channel.apply(tone)[:n]
+    k = int(np.floor(30_000.0 / fs * n))
+    original = power_spectrum(tone)[k - 5 : k + 6].sum()
+    after = power_spectrum(received)[k - 5 : k + 6].sum()
+    assert after == pytest.approx(original, rel=0.35)
+
+
+def test_dispersive_channel_scrambles_waveform():
+    """Time-domain correlation with the original collapses — the effect
+    that breaks ACTION-CC (§VI-B3)."""
+    fs, n = 44_100.0, 4096
+    rng = np.random.default_rng(5)
+    channel = random_dispersive_channel(rng, max_group_delay=40)
+    freqs = 25_000.0 + 333.0 * np.arange(10)
+    tone = np.sum(
+        [synthesize_sine(f, 100.0, n, fs) for f in freqs], axis=0
+    )
+    received = channel.apply(tone)[:n]
+    rho = np.dot(tone, received) / (
+        np.linalg.norm(tone) * np.linalg.norm(received)
+    )
+    assert abs(rho) < 0.5
+
+
+def test_dispersive_channel_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        random_dispersive_channel(rng, max_group_delay=-1)
+    with pytest.raises(ValueError):
+        random_dispersive_channel(rng, n_control_points=1)
+    with pytest.raises(ValueError):
+        random_dispersive_channel(rng, design_size=1000)

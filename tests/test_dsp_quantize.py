@@ -1,0 +1,44 @@
+"""Tests for 16-bit quantization (repro.dsp.quantize)."""
+
+import numpy as np
+
+from repro.dsp.quantize import (
+    PCM16_MAX,
+    PCM16_MIN,
+    REFERENCE_PEAK,
+    clip_pcm16,
+    quantization_noise_power,
+    quantize_pcm16,
+)
+
+
+def test_clip_bounds():
+    samples = np.array([-1e6, 0.0, 1e6])
+    clipped = clip_pcm16(samples)
+    assert clipped[0] == PCM16_MIN
+    assert clipped[2] == PCM16_MAX
+
+
+def test_quantize_rounds_to_integers():
+    quantized = quantize_pcm16(np.array([0.4, 0.6, -1.5, 2.5]))
+    assert np.all(quantized == np.rint(quantized))
+
+
+def test_quantize_preserves_integers():
+    values = np.array([-32768.0, 0.0, 12345.0, 32767.0])
+    np.testing.assert_array_equal(quantize_pcm16(values), values)
+
+
+def test_reference_peak_within_range():
+    assert REFERENCE_PEAK < PCM16_MAX
+
+
+def test_quantization_error_bounded_by_half_lsb():
+    rng = np.random.default_rng(0)
+    samples = rng.uniform(-30000, 30000, size=1000)
+    error = quantize_pcm16(samples) - samples
+    assert np.max(np.abs(error)) <= 0.5 + 1e-12
+
+
+def test_quantization_noise_power_constant():
+    assert quantization_noise_power() == 1.0 / 12.0

@@ -1,0 +1,47 @@
+"""Tests for clock-skew resampling (repro.dsp.resample)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import apply_clock_skew, skewed_length
+from repro.dsp.sine import synthesize_sine
+
+
+def test_zero_skew_is_identity():
+    signal = np.arange(100.0)
+    np.testing.assert_array_equal(apply_clock_skew(signal, 0.0), signal)
+
+
+def test_skewed_length_positive_skew_adds_samples():
+    assert skewed_length(1_000_000, 20.0) == 1_000_020
+
+
+def test_skewed_length_negative_skew_removes_samples():
+    assert skewed_length(1_000_000, -20.0) == 999_980
+
+
+def test_ppm_skew_tiny_waveform_change():
+    fs = 44_100.0
+    sine = synthesize_sine(1000.0, 1.0, 44_100, fs)
+    warped = apply_clock_skew(sine, 10.0)
+    # 10 ppm over one second shifts by less than half a sample.
+    min_len = min(sine.size, warped.size)
+    assert np.max(np.abs(warped[:min_len] - sine[:min_len])) < 0.12
+
+
+def test_large_skew_stretches_signal():
+    signal = np.linspace(0.0, 1.0, 1000)
+    stretched = apply_clock_skew(signal, 50_000.0)  # 5 %
+    assert stretched.size == skewed_length(1000, 50_000.0)
+    # The stretched signal reaches the same final value.
+    assert stretched[-1] == pytest.approx(signal[-1], abs=1e-6)
+
+
+def test_rejects_2d_input():
+    with pytest.raises(ValueError):
+        apply_clock_skew(np.zeros((3, 3)), 1.0)
+
+
+def test_short_signals_returned_unchanged():
+    single = np.array([2.0])
+    np.testing.assert_array_equal(apply_clock_skew(single, 100.0), single)

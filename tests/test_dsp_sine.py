@@ -1,0 +1,72 @@
+"""Tests for sine synthesis (repro.dsp.sine)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.sine import (
+    synthesize_sine,
+    synthesize_tone_sum,
+    tone_amplitude_for_power,
+)
+
+
+def test_sine_amplitude_and_length():
+    sine = synthesize_sine(1000.0, 3.0, 4410, 44_100.0)
+    assert sine.shape == (4410,)
+    assert np.max(np.abs(sine)) <= 3.0 + 1e-12
+    assert np.max(np.abs(sine)) == pytest.approx(3.0, rel=1e-3)
+
+
+def test_sine_phase_offset():
+    cos_like = synthesize_sine(100.0, 1.0, 8, 44_100.0, phase=np.pi / 2)
+    assert cos_like[0] == pytest.approx(1.0)
+
+
+def test_sine_zero_samples():
+    assert synthesize_sine(100.0, 1.0, 0, 44_100.0).shape == (0,)
+
+
+def test_sine_invalid_args():
+    with pytest.raises(ValueError):
+        synthesize_sine(100.0, 1.0, -1, 44_100.0)
+    with pytest.raises(ValueError):
+        synthesize_sine(100.0, 1.0, 10, 0.0)
+
+
+def test_above_nyquist_sine_equals_negated_alias():
+    """sin(2π f n/fs) with f > fs/2 equals −sin(2π (fs−f) n/fs) — the
+    discrete-time identity behind the paper's inaudible band."""
+    fs, n = 44_100.0, 1024
+    high = synthesize_sine(30_000.0, 1.0, n, fs)
+    alias = synthesize_sine(fs - 30_000.0, 1.0, n, fs)
+    np.testing.assert_allclose(high, -alias, atol=1e-9)
+
+
+def test_tone_sum_is_sum_of_sines():
+    fs, n = 44_100.0, 2048
+    combined = synthesize_tone_sum([1000.0, 2000.0], [1.0, 2.0], n, fs)
+    expected = synthesize_sine(1000.0, 1.0, n, fs) + synthesize_sine(
+        2000.0, 2.0, n, fs
+    )
+    np.testing.assert_allclose(combined, expected, atol=1e-9)
+
+
+def test_tone_sum_with_phases():
+    fs, n = 44_100.0, 512
+    shifted = synthesize_tone_sum(
+        [500.0], [1.0], n, fs, phases=[np.pi / 2]
+    )
+    assert shifted[0] == pytest.approx(1.0)
+
+
+def test_tone_sum_mismatched_lengths_raise():
+    with pytest.raises(ValueError):
+        synthesize_tone_sum([1.0, 2.0], [1.0], 16, 44_100.0)
+    with pytest.raises(ValueError):
+        synthesize_tone_sum([1.0], [1.0], 16, 44_100.0, phases=[0.0, 0.0])
+
+
+def test_tone_amplitude_for_power():
+    assert tone_amplitude_for_power(25.0) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        tone_amplitude_for_power(-1.0)

@@ -1,0 +1,74 @@
+"""Tests for sliding-window utilities (repro.dsp.windows)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import (
+    extract_window,
+    iter_windows,
+    refine_range,
+    window_starts,
+)
+
+
+def test_window_starts_cover_full_range():
+    starts = window_starts(total_length=100, window_length=10, step=20)
+    assert starts[0] == 0
+    assert starts[-1] == 90  # final admissible start always included
+
+
+def test_window_starts_exact_multiple():
+    starts = window_starts(40, 10, 10)
+    np.testing.assert_array_equal(starts, [0, 10, 20, 30])
+
+
+def test_window_starts_signal_shorter_than_window():
+    assert window_starts(5, 10, 1).size == 0
+
+
+def test_window_starts_single_position():
+    starts = window_starts(10, 10, 3)
+    np.testing.assert_array_equal(starts, [0])
+
+
+def test_window_starts_validation():
+    with pytest.raises(ValueError):
+        window_starts(10, 0, 1)
+    with pytest.raises(ValueError):
+        window_starts(10, 5, 0)
+
+
+def test_refine_range_clamps_to_admissible():
+    starts = refine_range(center=5, radius=10, total_length=50, window_length=10, step=5)
+    assert starts[0] == 0
+    assert starts[-1] == 15
+
+
+def test_refine_range_includes_upper_bound():
+    starts = refine_range(center=35, radius=10, total_length=50, window_length=10, step=7)
+    assert starts[-1] == 40
+
+
+def test_refine_range_empty_when_no_room():
+    assert refine_range(0, 5, 4, 10, 1).size == 0
+
+
+def test_refine_range_negative_radius():
+    with pytest.raises(ValueError):
+        refine_range(0, -1, 100, 10, 1)
+
+
+def test_extract_window_bounds():
+    signal = np.arange(20)
+    np.testing.assert_array_equal(extract_window(signal, 5, 3), [5, 6, 7])
+    with pytest.raises(IndexError):
+        extract_window(signal, 18, 5)
+    with pytest.raises(IndexError):
+        extract_window(signal, -1, 5)
+
+
+def test_iter_windows_yields_all():
+    signal = np.arange(10)
+    pairs = list(iter_windows(signal, 4, 3))
+    assert [start for start, _ in pairs] == [0, 3, 6]
+    np.testing.assert_array_equal(pairs[-1][1], [6, 7, 8, 9])

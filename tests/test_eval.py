@@ -1,0 +1,154 @@
+"""Tests for the evaluation framework (stats, FRR/FAR model, reporting)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.frr_far import (
+    GaussianAuthModel,
+    PAPER_SIGMAS_M,
+    THRESHOLDS_M,
+)
+from repro.eval.reporting import ExperimentReport, format_percent_row, format_table
+from repro.eval.stats import ErrorStats, pooled_sigma
+
+
+# ------------------------------------------------------------- stats
+
+
+def test_error_stats_basic():
+    stats = ErrorStats()
+    for e in (0.01, -0.02, 0.03):
+        stats.add(e)
+    assert stats.n == 3
+    assert stats.mean_abs_cm() == pytest.approx(2.0)
+    assert stats.mean_cm() == pytest.approx(2.0 / 3)
+    assert stats.max_abs_cm() == pytest.approx(3.0)
+
+
+def test_error_stats_not_present_rate():
+    stats = ErrorStats()
+    stats.add(0.0)
+    stats.add_not_present()
+    assert stats.trials == 2
+    assert stats.not_present_rate() == 0.5
+
+
+def test_error_stats_raises_when_empty():
+    with pytest.raises(ValueError):
+        ErrorStats().mean_abs_cm()
+    with pytest.raises(ValueError):
+        ErrorStats().not_present_rate()
+
+
+def test_pooled_sigma_averages_cells():
+    a, b = ErrorStats(), ErrorStats()
+    for e in (-0.01, 0.01):
+        a.add(e)
+    for e in (-0.03, 0.03):
+        b.add(e)
+    assert pooled_sigma([a, b]) == pytest.approx(0.02)
+
+
+def test_pooled_sigma_needs_completed_cells():
+    empty = ErrorStats()
+    with pytest.raises(ValueError):
+        pooled_sigma([empty])
+
+
+# ------------------------------------------------------------- FRR/FAR
+
+
+def test_model_reproduces_paper_table1_office():
+    """The §VI-C model at the paper-implied σ must reproduce the printed
+    office row of Table I: 5.6 / 2.8 / 1.9 / 1.4 %."""
+    model = GaussianAuthModel(sigma_m=PAPER_SIGMAS_M["office"])
+    row = model.frr_row()
+    for got, want in zip(row, (5.6, 2.8, 1.9, 1.4)):
+        assert got == pytest.approx(want, abs=0.1)
+
+
+def test_model_reproduces_paper_table1_street():
+    model = GaussianAuthModel(sigma_m=PAPER_SIGMAS_M["street"])
+    row = model.frr_row()
+    for got, want in zip(row, (12.6, 6.3, 4.2, 3.1)):
+        assert got == pytest.approx(want, abs=0.15)
+
+
+def test_model_reproduces_paper_table2_street():
+    """Table II street row: 0.7 / 0.7 / 0.7 / 0.8 %."""
+    model = GaussianAuthModel(sigma_m=PAPER_SIGMAS_M["street"])
+    row = model.far_row()
+    for got, want in zip(row, (0.66, 0.70, 0.74, 0.79)):
+        assert got == pytest.approx(want, abs=0.06)
+
+
+def test_frr_scales_inversely_with_threshold():
+    model = GaussianAuthModel(sigma_m=0.07)
+    assert model.frr(1.0) == pytest.approx(model.frr(0.5) / 2, rel=0.05)
+
+
+def test_frr_includes_beyond_range_rejections():
+    model = GaussianAuthModel(sigma_m=0.05, max_range_m=2.5)
+    assert model.frr_at_distance(3.0, 2.0) == 1.0
+
+
+def test_far_zero_beyond_acoustic_range():
+    model = GaussianAuthModel(sigma_m=0.07, max_range_m=2.5)
+    assert model.far_at_distance(2.6, 2.0) == 0.0
+
+
+def test_far_small_and_increasing_in_threshold():
+    model = GaussianAuthModel(sigma_m=0.1)
+    fars = model.far_row()
+    assert all(f < 1.0 for f in fars)
+    assert fars[-1] >= fars[0]
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        GaussianAuthModel(sigma_m=0.0)
+    with pytest.raises(ValueError):
+        GaussianAuthModel(sigma_m=0.1, max_range_m=20.0, bluetooth_range_m=10.0)
+    model = GaussianAuthModel(sigma_m=0.1)
+    with pytest.raises(ValueError):
+        model.frr(0.0)
+    with pytest.raises(ValueError):
+        model.far(10.0)
+
+
+def test_thresholds_match_paper():
+    assert THRESHOLDS_M == (0.5, 1.0, 1.5, 2.0)
+
+
+# ------------------------------------------------------------- reporting
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long header"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert "a" in lines[0] and "long header" in lines[0]
+    assert len(lines) == 4
+
+
+def test_format_table_with_title():
+    text = format_table(["x"], [[1]], title="Title")
+    assert text.splitlines()[0] == "Title"
+
+
+def test_format_percent_row():
+    assert format_percent_row([5.6, 2.8]) == ["5.6%", "2.8%"]
+    assert format_percent_row([0.345], digits=2) == ["0.34%"]
+
+
+def test_experiment_report_text():
+    report = ExperimentReport(name="x", title="demo")
+    report.add("hello")
+    report.add_table(["h"], [[1]])
+    text = report.to_text()
+    assert text.startswith("== x: demo ==")
+    assert "hello" in text
+    assert "1" in text
+    report.data["k"] = 5
+    assert report.data["k"] == 5

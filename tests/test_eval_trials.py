@@ -1,0 +1,101 @@
+"""Tests for the trial runners and remaining eval/decision surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.core.decisions import AuthDecision, AuthResult, DenyReason
+from repro.core.ranging import RangingStatus
+from repro.eval.trials import (
+    AUTH,
+    VOUCH,
+    build_pair_world,
+    concurrent_users_interference,
+    not_present_count,
+    run_ranging_cell,
+)
+
+
+def test_build_pair_world_geometry():
+    world = build_pair_world("quiet_lab", 1.25, seed=3)
+    assert world.distance_between(AUTH, VOUCH) == pytest.approx(1.25)
+    assert world.link_between(AUTH, VOUCH) is not None
+
+
+def test_run_ranging_cell_collects_stats():
+    cell = run_ranging_cell("quiet_lab", 0.8, n_trials=3, seed=4)
+    assert cell.environment == "quiet_lab"
+    assert cell.stats.trials == 3
+    assert len(cell.outcomes) == 3
+    assert cell.stats.n + cell.stats.not_present == 3
+    if cell.stats.n:
+        assert cell.stats.mean_abs_cm() < 40.0
+
+
+def test_run_ranging_cell_deterministic_per_seed():
+    a = run_ranging_cell("quiet_lab", 0.8, n_trials=2, seed=9)
+    b = run_ranging_cell("quiet_lab", 0.8, n_trials=2, seed=9)
+    assert a.stats.errors_m == b.stats.errors_m
+
+
+def test_run_ranging_cell_seeds_differ_across_trials():
+    cell = run_ranging_cell("quiet_lab", 0.8, n_trials=3, seed=10)
+    errors = cell.stats.errors_m
+    assert len(set(errors)) == len(errors)
+
+
+def test_concurrent_users_interference_shape():
+    world = build_pair_world("office", 1.0, seed=11)
+    factory = concurrent_users_interference(n_other_pairs=2)
+    providers = factory(world, world.rngs.generator("i"))
+    assert len(providers) == 1
+    events = providers[0](0.0, 2.0, np.random.default_rng(0))
+    assert len(events) == 4  # two pairs × two signals
+    names = {e.device.name for e in events}
+    assert len(names) == 4
+    # The interfering devices were registered in the world.
+    assert all(name in world.devices for name in names)
+
+
+def test_not_present_count():
+    cell = run_ranging_cell("quiet_lab", 5.0, n_trials=2, seed=12)
+    assert not_present_count(cell.outcomes) == 2
+
+
+def test_auth_result_str_forms():
+    grant = AuthResult(
+        decision=AuthDecision.GRANT,
+        reason=DenyReason.NONE,
+        threshold_m=1.0,
+        distance_m=0.5,
+    )
+    assert "GRANT" in str(grant)
+    deny = AuthResult(
+        decision=AuthDecision.DENY,
+        reason=DenyReason.SIGNAL_NOT_PRESENT,
+        threshold_m=1.0,
+    )
+    text = str(deny)
+    assert "DENY" in text and "signal_not_present" in text
+
+
+def test_ranging_status_values_are_stable():
+    assert RangingStatus.OK.value == "ok"
+    assert RangingStatus.SIGNAL_NOT_PRESENT.value == "signal_not_present"
+    assert RangingStatus.BLUETOOTH_UNAVAILABLE.value == "bluetooth_unavailable"
+    assert RangingStatus.CHANNEL_TAMPERED.value == "channel_tampered"
+
+
+def test_cell_with_config_override():
+    from repro.core.config import ProtocolConfig
+
+    config = ProtocolConfig(theta=3)
+    cell = run_ranging_cell("quiet_lab", 0.8, n_trials=2, seed=13, config=config)
+    assert cell.stats.trials == 2
+
+
+def test_cell_with_room_override():
+    from repro.sim.geometry import Room
+
+    room = Room.with_dividing_wall(x=0.4)
+    cell = run_ranging_cell("quiet_lab", 0.8, n_trials=2, seed=14, room=room)
+    assert cell.stats.not_present == 2

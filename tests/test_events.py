@@ -1,0 +1,120 @@
+"""Tests for the discrete-event scheduler (repro.sim.events)."""
+
+import pytest
+
+from repro.sim.events import EventScheduler, SchedulerError
+
+
+def test_events_run_in_time_order():
+    sched = EventScheduler()
+    order = []
+    sched.schedule_at(2.0, lambda: order.append("b"))
+    sched.schedule_at(1.0, lambda: order.append("a"))
+    sched.schedule_at(3.0, lambda: order.append("c"))
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sched = EventScheduler()
+    order = []
+    for tag in "xyz":
+        sched.schedule_at(1.0, lambda t=tag: order.append(t))
+    sched.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_clock_advances_with_events():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule_at(1.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [1.5]
+    assert sched.now == 1.5
+
+
+def test_schedule_in_uses_relative_delay():
+    sched = EventScheduler(start_time=10.0)
+    seen = []
+    sched.schedule_in(0.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [10.5]
+
+
+def test_scheduling_in_past_raises():
+    sched = EventScheduler(start_time=5.0)
+    with pytest.raises(SchedulerError):
+        sched.schedule_at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sched = EventScheduler()
+    with pytest.raises(SchedulerError):
+        sched.schedule_in(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sched = EventScheduler()
+    order = []
+    sched.schedule_at(1.0, lambda: order.append("early"))
+    sched.schedule_at(5.0, lambda: order.append("late"))
+    sched.run(until=2.0)
+    assert order == ["early"]
+    assert sched.now == 2.0
+    sched.run()
+    assert order == ["early", "late"]
+
+
+def test_cancelled_events_are_skipped():
+    sched = EventScheduler()
+    order = []
+    event = sched.schedule_at(1.0, lambda: order.append("cancelled"))
+    sched.schedule_at(2.0, lambda: order.append("kept"))
+    event.cancel()
+    sched.run()
+    assert order == ["kept"]
+
+
+def test_events_can_schedule_followups():
+    sched = EventScheduler()
+    order = []
+
+    def first():
+        order.append("first")
+        sched.schedule_in(1.0, lambda: order.append("second"))
+
+    sched.schedule_at(0.5, first)
+    sched.run()
+    assert order == ["first", "second"]
+
+
+def test_step_executes_single_event():
+    sched = EventScheduler()
+    order = []
+    sched.schedule_at(1.0, lambda: order.append(1))
+    sched.schedule_at(2.0, lambda: order.append(2))
+    assert sched.step()
+    assert order == [1]
+    assert sched.step()
+    assert not sched.step()
+
+
+def test_max_events_guard():
+    sched = EventScheduler()
+
+    def loop():
+        sched.schedule_in(0.0, loop)
+
+    sched.schedule_at(0.0, loop)
+    with pytest.raises(SchedulerError):
+        sched.run(max_events=100)
+
+
+def test_executed_counter_and_clear():
+    sched = EventScheduler()
+    sched.schedule_at(1.0, lambda: None)
+    sched.schedule_at(2.0, lambda: None)
+    sched.run(until=1.5)
+    assert sched.executed == 1
+    sched.clear()
+    assert sched.pending == 0

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; these tests import and run
+each one's ``main()`` so a refactor that breaks an example fails CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "smart_home",
+    "web_authentication",
+]
+
+SLOW_EXAMPLES = [
+    "shared_office",
+    "attack_gallery",
+    "threshold_tuning",
+]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"
+
+
+def test_examples_directory_complete():
+    present = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(EXAMPLES) | set(SLOW_EXAMPLES) <= present
+    assert len(present) >= 6

@@ -1,0 +1,112 @@
+"""Tests for planar geometry (repro.sim.geometry)."""
+
+import math
+
+import pytest
+
+from repro.sim.geometry import (
+    Point,
+    Room,
+    Wall,
+    bounding_box,
+    distance,
+    segments_intersect,
+)
+
+
+def test_point_distance():
+    assert distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+
+def test_point_translated():
+    assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+
+def test_segments_crossing():
+    assert segments_intersect(Point(0, -1), Point(0, 1), Point(-1, 0), Point(1, 0))
+
+
+def test_segments_parallel_disjoint():
+    assert not segments_intersect(
+        Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+    )
+
+
+def test_segments_collinear_overlapping():
+    assert segments_intersect(Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0))
+
+
+def test_segments_collinear_disjoint():
+    assert not segments_intersect(
+        Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)
+    )
+
+
+def test_segments_touching_endpoint_counts():
+    assert segments_intersect(Point(0, 0), Point(1, 0), Point(1, 0), Point(2, 1))
+
+
+def test_wall_blocks_crossing_path():
+    wall = Wall(Point(1, -5), Point(1, 5))
+    assert wall.blocks(Point(0, 0), Point(2, 0))
+    assert not wall.blocks(Point(0, 0), Point(0.5, 0))
+
+
+def test_wall_amplitude_factor():
+    wall = Wall(Point(0, 0), Point(0, 1), attenuation_db=20.0)
+    assert wall.amplitude_factor == pytest.approx(0.1)
+
+
+def test_room_open_space_no_attenuation():
+    room = Room.open_space()
+    assert room.path_amplitude_factor(Point(0, 0), Point(10, 10)) == 1.0
+
+
+def test_room_dividing_wall_attenuates():
+    room = Room.with_dividing_wall(x=1.0, attenuation_db=30.0)
+    factor = room.path_amplitude_factor(Point(0, 0), Point(2, 0))
+    assert factor == pytest.approx(10 ** (-30 / 20))
+
+
+def test_room_multiple_walls_multiply():
+    walls = [
+        Wall(Point(1, -5), Point(1, 5), attenuation_db=20.0),
+        Wall(Point(2, -5), Point(2, 5), attenuation_db=20.0),
+    ]
+    room = Room.from_walls(walls)
+    factor = room.path_amplitude_factor(Point(0, 0), Point(3, 0))
+    assert factor == pytest.approx(0.01)
+
+
+def test_walls_crossed_lists_only_blocking_walls():
+    walls = [
+        Wall(Point(1, -5), Point(1, 5)),
+        Wall(Point(10, -5), Point(10, 5)),
+    ]
+    room = Room.from_walls(walls)
+    crossed = room.walls_crossed(Point(0, 0), Point(2, 0))
+    assert crossed == [walls[0]]
+
+
+def test_bounding_box():
+    lo, hi = bounding_box([Point(1, 5), Point(-2, 0), Point(3, -1)])
+    assert lo == Point(-2, -1)
+    assert hi == Point(3, 5)
+
+
+def test_bounding_box_empty_raises():
+    with pytest.raises(ValueError):
+        bounding_box([])
+
+
+def test_point_as_tuple_roundtrip():
+    assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+
+def test_diagonal_path_misses_short_wall():
+    wall = Wall(Point(1, 0), Point(1, 1))
+    assert not wall.blocks(Point(0, 2), Point(2, 2))
+    assert math.isclose(
+        Room.from_walls([wall]).path_amplitude_factor(Point(0, 2), Point(2, 2)),
+        1.0,
+    )

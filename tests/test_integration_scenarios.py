@@ -1,0 +1,111 @@
+"""End-to-end scenario tests mirroring the paper's narrative claims."""
+
+import pytest
+
+from repro import AcousticWorld, AuthConfig, DenyReason, Point, Room
+from tests.conftest import make_pair_world
+
+
+def test_smartwatch_vouches_for_phone():
+    """§I's motivating scenario: watch near phone → grant; away → deny."""
+    world = AcousticWorld(environment="home", seed=101)
+    world.add_device("phone", Point(0, 0))
+    world.add_device("watch", Point(0.6, 0))
+    world.pair("phone", "watch")
+    near = world.authenticate("phone", "watch", AuthConfig(threshold_m=1.0))
+    assert near.granted
+    world.move_device("watch", Point(7.0, 0))
+    away = world.authenticate("phone", "watch", AuthConfig(threshold_m=1.0))
+    assert not away.granted
+
+
+def test_personalizable_thresholds():
+    """§I: the same scene grants at τ=1.0 m and denies at τ=0.5 m."""
+    relaxed = make_pair_world(distance_m=0.8, seed=102).authenticate(
+        "auth", "vouch", AuthConfig(threshold_m=1.0)
+    )
+    strict = make_pair_world(distance_m=0.8, seed=102).authenticate(
+        "auth", "vouch", AuthConfig(threshold_m=0.5)
+    )
+    assert relaxed.granted
+    assert not strict.granted
+    assert strict.reason is DenyReason.DISTANCE_EXCEEDS_THRESHOLD
+
+
+def test_roles_are_symmetric():
+    """§IV: either device can authenticate with the other vouching."""
+    world = make_pair_world(distance_m=0.9, seed=103)
+    forward = world.authenticate("auth", "vouch", AuthConfig(threshold_m=1.2))
+    backward = world.authenticate("vouch", "auth", AuthConfig(threshold_m=1.2))
+    assert forward.granted
+    assert backward.granted
+
+
+def test_zero_interaction():
+    """§I: authentication requires no user action — the full flow runs
+    without any input besides the one-time pairing."""
+    world = make_pair_world(distance_m=0.7, seed=104)
+    result = world.authenticate("auth", "vouch")
+    assert result.granted
+    assert result.rounds == 1
+
+
+def test_wall_rejection_is_a_security_win_over_radio():
+    """§II/§VI-B: acoustic ranging denies across a wall even though the
+    straight-line (radio) distance is tiny."""
+    world = make_pair_world(
+        distance_m=0.8, seed=105, room=Room.with_dividing_wall(x=0.4)
+    )
+    assert world.distance_between("auth", "vouch") < 1.0  # radio would pass
+    result = world.authenticate("auth", "vouch", AuthConfig(threshold_m=1.5))
+    assert result.reason is DenyReason.SIGNAL_NOT_PRESENT
+
+
+def test_retry_extension_recovers_from_transient_interference():
+    """Our retry extension: a round that aborts with ⊥ can be retried and
+    the second round decides normally."""
+    world = make_pair_world(distance_m=0.8, seed=106)
+
+    calls = {"n": 0}
+    original = world.range_once
+
+    def flaky(auth, vouch, interference=()):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            from repro.core.ranging import RangingOutcome, RangingStatus
+
+            return RangingOutcome(status=RangingStatus.SIGNAL_NOT_PRESENT)
+        return original(auth, vouch, interference)
+
+    world.range_once = flaky  # type: ignore[method-assign]
+    result = world.authenticate(
+        "auth", "vouch", AuthConfig(threshold_m=1.0, max_retries=1)
+    )
+    assert result.granted
+    assert result.rounds == 2
+
+
+def test_estimates_unbiased_over_trials():
+    """§VI-C verifies 'the average estimated distance is very close to the
+    real distance' — the Gaussian model's mean assumption."""
+    errors = []
+    for seed in range(8):
+        world = make_pair_world(distance_m=1.0, environment="office", seed=300 + seed)
+        outcome = world.range_once("auth", "vouch")
+        if outcome.ok:
+            errors.append(outcome.require_distance() - 1.0)
+    assert errors
+    mean_error = sum(errors) / len(errors)
+    assert abs(mean_error) < 0.12
+
+
+def test_battery_accounting_across_many_auths():
+    """§VI-D: energy accumulates linearly; 100 auths stay under 1 % of an
+    S4-class battery."""
+    world = make_pair_world(distance_m=0.8, seed=107)
+    device = world.device("auth")
+    for _ in range(5):
+        world.authenticate("auth", "vouch")
+    per_auth = device.battery.consumed_j / 5
+    per_100_percent = 100 * 100 * per_auth / device.battery.capacity_j
+    assert per_100_percent < 1.0

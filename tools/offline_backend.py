@@ -1,0 +1,64 @@
+"""In-tree PEP 517 build backend for fully offline environments.
+
+``pip install -e .`` normally creates an isolated build environment and
+downloads the declared build requirements into it — impossible without
+network access.  This backend declares *no* build requirements and instead
+re-exposes the host interpreter's already-installed setuptools to the
+isolated build process (the host site-packages directory is appended to
+``sys.path``, which build isolation removes but does not hide).
+
+It is a thin delegation layer: every PEP 517/660 hook forwards to
+``setuptools.build_meta``; only the ``get_requires_for_build_*`` hooks are
+overridden to return nothing so pip never attempts a download.
+"""
+
+from __future__ import annotations
+
+import os
+import site
+import sys
+
+
+def _expose_host_site_packages() -> None:
+    """Append the host's site-packages to sys.path if isolation removed it."""
+    candidates: list[str] = []
+    try:
+        candidates.extend(site.getsitepackages())
+    except (AttributeError, OSError):  # pragma: no cover - exotic layouts
+        pass
+    purelib = os.path.join(
+        sys.prefix, "lib", f"python{sys.version_info[0]}.{sys.version_info[1]}",
+        "site-packages",
+    )
+    candidates.append(purelib)
+    for path in candidates:
+        if os.path.isdir(path) and path not in sys.path:
+            sys.path.append(path)
+
+
+_expose_host_site_packages()
+
+from setuptools import build_meta as _setuptools_backend  # noqa: E402
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+prepare_metadata_for_build_wheel = (
+    _setuptools_backend.prepare_metadata_for_build_wheel
+)
+prepare_metadata_for_build_editable = (
+    _setuptools_backend.prepare_metadata_for_build_editable
+)
+build_wheel = _setuptools_backend.build_wheel
+build_sdist = _setuptools_backend.build_sdist
+build_editable = _setuptools_backend.build_editable

@@ -1,0 +1,10 @@
+"""Minimal offline stand-in for the `wheel` package.
+
+This environment has no network access and no `wheel` distribution, but
+setuptools' PEP 660 editable-install path (used by ``pip install -e .``)
+imports ``wheel.wheelfile.WheelFile`` and resolves the ``bdist_wheel``
+distutils command from this package.  The shim implements exactly the
+surface those paths need; it is not a general-purpose wheel builder.
+"""
+
+__version__ = "0.41.2"

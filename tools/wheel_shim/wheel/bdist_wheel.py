@@ -1,0 +1,149 @@
+"""Minimal bdist_wheel command: just enough for PEP 660 editable builds.
+
+setuptools' ``editable_wheel`` command only calls ``write_wheelfile`` and
+``get_tag`` on this command; full wheel building is intentionally not
+implemented (this environment installs projects editable-only).
+"""
+
+from __future__ import annotations
+
+import os
+
+from setuptools import Command
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (offline shim)"
+
+    user_options = [
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("plat-name=", "p", "platform name to embed in generated filenames"),
+    ]
+    boolean_options: list[str] = []
+
+    def initialize_options(self):
+        self.dist_dir = None
+        self.plat_name = None
+        self.universal = False
+        self.data_dir = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+        name = self.distribution.get_name().replace("-", "_")
+        version = self.distribution.get_version()
+        self.data_dir = f"{name}-{version}.data"
+
+    @property
+    def root_is_pure(self):
+        return not (
+            self.distribution.has_ext_modules()
+            or self.distribution.has_c_libraries()
+        )
+
+    def get_tag(self):
+        if not self.root_is_pure:
+            raise RuntimeError(
+                "the offline bdist_wheel shim only supports pure-Python "
+                "projects"
+            )
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base, generator="bdist_wheel (offline shim)"):
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            f"Root-Is-Purelib: {'true' if self.root_is_pure else 'false'}\n"
+            f"Tag: {'-'.join(self.get_tag())}\n"
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an .egg-info directory into a .dist-info directory.
+
+        Mirrors the behaviour setuptools' ``dist_info`` command relies on:
+        PKG-INFO becomes METADATA (with requires.txt folded into
+        Requires-Dist / Provides-Extra), auxiliary egg-info files are
+        copied, and the egg-info directory is removed.
+        """
+        import shutil
+
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+
+        skip = {
+            "PKG-INFO",
+            "requires.txt",
+            "SOURCES.txt",
+            "not-zip-safe",
+            "dependency_links.txt",
+        }
+        for name in sorted(os.listdir(egginfo_path)):
+            if name in skip:
+                continue
+            shutil.copy2(
+                os.path.join(egginfo_path, name),
+                os.path.join(distinfo_path, name),
+            )
+
+        metadata = _pkginfo_to_metadata(
+            os.path.join(egginfo_path, "PKG-INFO"),
+            os.path.join(egginfo_path, "requires.txt"),
+        )
+        with open(
+            os.path.join(distinfo_path, "METADATA"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(metadata)
+
+        shutil.rmtree(egginfo_path, ignore_errors=True)
+
+    def run(self):
+        raise NotImplementedError(
+            "full wheel builds are not supported by the offline shim; "
+            "use editable installs (pip install -e .)"
+        )
+
+
+def _pkginfo_to_metadata(pkginfo_path, requires_path):
+    """PKG-INFO text plus Requires-Dist/Provides-Extra from requires.txt."""
+    with open(pkginfo_path, encoding="utf-8") as handle:
+        pkg_info = handle.read()
+
+    header, _, description = pkg_info.partition("\n\n")
+    lines = [
+        line
+        for line in header.splitlines()
+        if not line.startswith(("Requires-Dist:", "Provides-Extra:"))
+    ]
+
+    if os.path.exists(requires_path):
+        extra = None
+        marker = ""
+        with open(requires_path, encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith("[") and line.endswith("]"):
+                    section = line[1:-1]
+                    extra, _, marker = section.partition(":")
+                    if extra:
+                        lines.append(f"Provides-Extra: {extra}")
+                    continue
+                requirement = line
+                conditions = []
+                if marker:
+                    conditions.append(f"({marker})")
+                if extra:
+                    conditions.append(f'extra == "{extra}"')
+                if conditions:
+                    requirement = f"{line} ; {' and '.join(conditions)}"
+                lines.append(f"Requires-Dist: {requirement}")
+
+    result = "\n".join(lines) + "\n"
+    if description:
+        result += "\n" + description
+    return result

@@ -1,0 +1,104 @@
+"""A functional subset of wheel.wheelfile for offline editable installs."""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import os
+import re
+import stat
+from base64 import urlsafe_b64encode
+from zipfile import ZIP_DEFLATED, ZipFile, ZipInfo
+
+__all__ = ["WheelFile", "WheelError"]
+
+WHEEL_INFO_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^\s-]+?)-(?P<ver>[^\s-]+?))"
+    r"(-(?P<build>\d[^\s-]*))?-(?P<pyver>[^\s-]+?)-(?P<abi>[^\s-]+?)"
+    r"-(?P<plat>\S+)\.whl$"
+)
+
+
+class WheelError(Exception):
+    pass
+
+
+def _b64_digest(data: bytes) -> str:
+    return urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(ZipFile):
+    """ZipFile specialized for wheels: tracks hashes and writes RECORD."""
+
+    def __init__(self, file, mode="r", compression=ZIP_DEFLATED):
+        basename = os.path.basename(file)
+        parsed = WHEEL_INFO_RE.match(basename)
+        if parsed is None:
+            raise WheelError(f"bad wheel filename {basename!r}")
+        self.parsed_filename = parsed
+        self.dist_info_path = "{}.dist-info".format(parsed.group("namever"))
+        self.record_path = self.dist_info_path + "/RECORD"
+        self._file_hashes: dict[str, str] = {}
+        self._file_sizes: dict[str, int] = {}
+        ZipFile.__init__(self, file, mode, compression=compression, allowZip64=True)
+
+    # -- writing -------------------------------------------------------
+
+    def write_files(self, base_dir):
+        deferred = []
+        for root, dirnames, filenames in os.walk(base_dir):
+            dirnames.sort()
+            for name in sorted(filenames):
+                path = os.path.normpath(os.path.join(root, name))
+                if not os.path.isfile(path):
+                    continue
+                arcname = os.path.relpath(path, base_dir).replace(os.path.sep, "/")
+                if arcname == self.record_path:
+                    continue
+                if root.endswith(".dist-info"):
+                    deferred.append((path, arcname))
+                else:
+                    self.write(path, arcname)
+        deferred.sort()
+        for path, arcname in deferred:
+            self.write(path, arcname)
+
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        if arcname is None:
+            arcname = filename
+        arcname = arcname.replace(os.path.sep, "/")
+        zinfo = ZipInfo(arcname, date_time=(2020, 1, 1, 0, 0, 0))
+        zinfo.external_attr = (stat.S_IMODE(os.stat(filename).st_mode) | stat.S_IFREG) << 16
+        zinfo.compress_type = compress_type or self.compression
+        self.writestr(zinfo, data)
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        ZipFile.writestr(self, zinfo_or_arcname, data, compress_type)
+        if isinstance(zinfo_or_arcname, ZipInfo):
+            fname = zinfo_or_arcname.filename
+        else:
+            fname = zinfo_or_arcname
+        if fname != self.record_path:
+            self._file_hashes[fname] = _b64_digest(data)
+            self._file_sizes[fname] = len(data)
+
+    def close(self):
+        if self.fp is not None and self.mode == "w" and self._file_hashes:
+            buffer = io.StringIO()
+            writer = csv.writer(buffer, delimiter=",", quotechar='"', lineterminator="\n")
+            for fname in sorted(self._file_hashes):
+                writer.writerow(
+                    (fname, f"sha256={self._file_hashes[fname]}", self._file_sizes[fname])
+                )
+            writer.writerow((self.record_path, "", ""))
+            record = buffer.getvalue().encode("utf-8")
+            self._file_hashes.clear()
+            zinfo = ZipInfo(self.record_path, date_time=(2020, 1, 1, 0, 0, 0))
+            zinfo.external_attr = (0o644 | stat.S_IFREG) << 16
+            ZipFile.writestr(self, zinfo, record)
+        ZipFile.close(self)
