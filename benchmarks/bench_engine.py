@@ -1,0 +1,87 @@
+"""Trial-engine throughput: serial vs. process-pool plan execution.
+
+Runs a Fig. 1-style plan (four environments × four distances) through
+:class:`TrialEngine` at ``jobs=1`` and ``jobs=cpu_count`` with cold caches,
+so the perf trajectory tracks both raw trials/sec and the pool's
+scaling behaviour.  On a single-core runner the pool benchmark measures
+dispatch overhead (the two should be within ~10%); on multicore hardware
+it measures the speedup.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.acoustics.environment import FIGURE1_ENVIRONMENTS
+from repro.eval.engine import TrialEngine, TrialPlan, TrialSpec
+
+_DISTANCES = (0.5, 1.0, 1.5, 2.0)
+
+
+def _fig1_style_plan(trials: int) -> TrialPlan:
+    return TrialPlan(
+        "bench_engine",
+        [
+            TrialSpec(
+                environment=environment,
+                distance_m=distance,
+                n_trials=trials,
+                seed=0,
+                key=f"{environment.name}:{distance}",
+            )
+            for environment in FIGURE1_ENVIRONMENTS
+            for distance in _DISTANCES
+        ],
+    )
+
+
+def _trials_for(quick: bool) -> int:
+    return 2 if quick else 6
+
+
+def _report_rate(label: str, engine: TrialEngine) -> None:
+    counters = engine.counters
+    print(
+        f"\n[{label}] {counters.trials_executed} trials, "
+        f"{counters.trials_per_s:.1f} trials/s (jobs={engine.jobs})"
+    )
+
+
+def test_engine_serial_throughput(benchmark, quick):
+    plan = _fig1_style_plan(_trials_for(quick))
+
+    def run_serial():
+        # Fresh engine per round: cold cache, so the run measures execution.
+        engine = TrialEngine(jobs=1)
+        engine.run_plan(plan)
+        return engine
+
+    engine = benchmark.pedantic(run_serial, rounds=1, iterations=1)
+    _report_rate("engine serial", engine)
+    assert engine.counters.trials_executed == plan.total_trials
+
+
+def test_engine_pool_throughput(benchmark, quick):
+    plan = _fig1_style_plan(_trials_for(quick))
+    jobs = min(4, os.cpu_count() or 1)
+
+    def run_pool():
+        with TrialEngine(jobs=jobs) as engine:
+            engine.run_plan(plan)
+        return engine
+
+    engine = benchmark.pedantic(run_pool, rounds=1, iterations=1)
+    _report_rate("engine pool", engine)
+    assert engine.counters.trials_executed == plan.total_trials
+
+
+def test_engine_cache_serves_repeat_plans(benchmark, quick):
+    plan = _fig1_style_plan(_trials_for(quick))
+    engine = TrialEngine(jobs=1)
+    engine.run_plan(plan)  # warm the cache outside the timer
+
+    result = benchmark.pedantic(
+        lambda: engine.run_plan(plan), rounds=1, iterations=1
+    )
+    assert len(result) == len(plan.specs)
+    assert engine.counters.cells_cached == len(plan.specs)

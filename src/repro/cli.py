@@ -10,9 +10,15 @@ Regenerate Figure 1 with the paper's 10 trials per cell::
 
     python -m repro run fig1
 
-Quick smoke pass over every experiment::
+Quick smoke pass over every experiment, four worker processes::
 
-    python -m repro run-all --quick
+    python -m repro run-all --quick --jobs 4
+
+Results are deterministic in ``--seed`` regardless of ``--jobs``: the
+parallel engine derives every trial's randomness from the experiment
+description, never from scheduling order.  ``--cache-dir`` persists
+shareable measurements (e.g. the σ_d estimates behind Tables I/II) as JSON
+across invocations.
 """
 
 from __future__ import annotations
@@ -22,9 +28,42 @@ import sys
 import time
 from typing import Sequence
 
+from repro.eval.engine import MeasurementCache, TrialEngine, use_engine
 from repro.eval.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.eval.reporting import format_throughput
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for trial execution (default: auto = CPU "
+            "count; 1 = serial). Results are identical for any value."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist shareable measurements as JSON under DIR",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print engine progress lines (trials/sec per plan) to stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,11 +88,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--quick", action="store_true", help="reduced trial counts"
     )
+    _add_engine_options(run_parser)
 
     all_parser = sub.add_parser("run-all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=0)
     all_parser.add_argument("--quick", action="store_true")
+    _add_engine_options(all_parser)
     return parser
+
+
+def _build_engine(args: argparse.Namespace) -> TrialEngine:
+    """One engine per invocation: shared pool, shared measurement cache."""
+    progress = None
+    if args.progress:
+        progress = lambda line: print(f"  {line}", file=sys.stderr)  # noqa: E731
+    return TrialEngine(
+        jobs=args.jobs,
+        cache=MeasurementCache(disk_dir=args.cache_dir),
+        progress=progress,
+    )
 
 
 def _cmd_list() -> int:
@@ -68,7 +121,12 @@ def _cmd_run(name: str, trials: int | None, seed: int, quick: bool) -> int:
     start = time.time()
     report = run_experiment(name, trials=trials, seed=seed, quick=quick)
     print(report.to_text())
-    print(f"\n[{name} completed in {time.time() - start:.1f}s]")
+    summary = format_throughput(
+        report.data.get("engine:trials_executed", 0),
+        time.time() - start,
+        cached_trials=report.data.get("engine:trials_cached", 0),
+    )
+    print(f"\n[{name} completed: {summary}]")
     return 0
 
 
@@ -78,12 +136,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            return _cmd_run(args.experiment, args.trials, args.seed, args.quick)
+            with use_engine(_build_engine(args)) as engine:
+                try:
+                    return _cmd_run(
+                        args.experiment, args.trials, args.seed, args.quick
+                    )
+                finally:
+                    engine.close()
         if args.command == "run-all":
             status = 0
-            for entry in list_experiments():
-                status |= _cmd_run(entry.name, None, args.seed, args.quick)
-                print()
+            start = time.time()
+            with use_engine(_build_engine(args)) as engine:
+                try:
+                    for entry in list_experiments():
+                        status |= _cmd_run(entry.name, None, args.seed, args.quick)
+                        print()
+                    totals = engine.counters
+                    print(
+                        "[run-all totals: "
+                        + format_throughput(
+                            totals.trials_executed,
+                            time.time() - start,
+                            cached_trials=totals.trials_cached,
+                        )
+                        + f", jobs={engine.jobs}]"
+                    )
+                finally:
+                    engine.close()
             return status
     except BrokenPipeError:
         # Downstream pager/head closed the pipe — not an error.

@@ -17,16 +17,53 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
 
 from repro.core.detection import DetectionResult
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    import numpy as np
+
+    from repro.core.config import ProtocolConfig
+
 __all__ = [
     "DeviceObservation",
+    "RangingEngine",
     "RangingStatus",
     "RangingOutcome",
     "estimate_distance",
     "distance_one_way",
 ]
+
+
+class RangingEngine(Protocol):
+    """Structural interface of a ranging engine.
+
+    :class:`repro.core.action.ActionRanging` is the canonical
+    implementation; :class:`repro.baselines.cc_detector.ActionCCRanging`
+    swaps the detector.  A :class:`repro.sim.session.RangingSession`
+    drives any object with this shape, and the evaluation engine ships
+    instances to worker processes — so implementations must be picklable.
+    """
+
+    config: "ProtocolConfig"
+
+    def construct_signals(self, rng: "np.random.Generator"): ...
+
+    def observe(
+        self,
+        recording: "np.ndarray",
+        own,
+        remote,
+        sample_rate: float,
+    ) -> DeviceObservation: ...
+
+    def finalize(
+        self,
+        auth_observation: DeviceObservation,
+        vouch_ok: bool,
+        vouch_delta_seconds: float,
+    ) -> "RangingOutcome": ...
 
 
 class RangingStatus(enum.Enum):

@@ -1,0 +1,50 @@
+"""Plan-based parallel trial engine.
+
+Three layers (see ``docs/engine.md``):
+
+* **declarative** — :class:`TrialSpec` / :class:`TrialPlan` describe the
+  cells an experiment needs (:mod:`repro.eval.engine.spec`);
+* **execution** — :class:`TrialEngine` runs plans serially or on a
+  process pool with deterministic per-trial seeding
+  (:mod:`repro.eval.engine.executor`);
+* **caching** — :class:`MeasurementCache` deduplicates identical cells
+  and shared measurements across experiments
+  (:mod:`repro.eval.engine.cache`).
+"""
+
+from repro.eval.engine.cache import CacheStats, MeasurementCache
+from repro.eval.engine.context import get_engine, reset_default_engine, use_engine
+from repro.eval.engine.executor import (
+    EngineCounters,
+    TrialEngine,
+    build_pair_world,
+    run_cell_spec,
+)
+from repro.eval.engine.spec import (
+    AUTH,
+    VOUCH,
+    CellResult,
+    InterferenceFactory,
+    TrialPlan,
+    TrialSpec,
+    fingerprint_value,
+)
+
+__all__ = [
+    "AUTH",
+    "VOUCH",
+    "CacheStats",
+    "CellResult",
+    "EngineCounters",
+    "InterferenceFactory",
+    "MeasurementCache",
+    "TrialEngine",
+    "TrialPlan",
+    "TrialSpec",
+    "build_pair_world",
+    "fingerprint_value",
+    "get_engine",
+    "reset_default_engine",
+    "run_cell_spec",
+    "use_engine",
+]

@@ -1,0 +1,131 @@
+"""Content-addressed measurement cache shared by all experiments.
+
+Within one process (one ``run-all`` invocation) every computed value —
+cell results, pooled σ_d measurements — is stored in memory under its
+content key, so experiments that describe the same computation share one
+execution.  JSON-serializable values can additionally persist to an
+on-disk cache directory, surviving across CLI invocations (opt-in via
+``--cache-dir``).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["CacheStats", "MeasurementCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (tests and the CLI summary read these)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class MeasurementCache:
+    """In-process memoization keyed by content fingerprints.
+
+    Parameters
+    ----------
+    disk_dir:
+        Optional directory for the JSON spillover.  Only values stored
+        with ``persist=True`` (JSON-serializable by contract) are written;
+        everything else stays memory-only.
+    max_entries:
+        In-memory entry cap; the least recently used entries are evicted
+        beyond it so unbounded sweeps cannot exhaust memory.
+    """
+
+    def __init__(
+        self, disk_dir: str | Path | None = None, max_entries: int = 1024
+    ) -> None:
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Path:
+        # Keys are arbitrary-length fingerprints; digest them into a
+        # filesystem-safe fixed-width name.
+        assert self.disk_dir is not None
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:40]
+        return self.disk_dir / f"{digest}.json"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Look ``key`` up; returns ``(found, value)``.
+
+        Hits return a deep copy: callers received fresh objects before
+        caching existed, and a mutation on one caller's result must not
+        poison the stored entry for everyone after it.
+        """
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return True, copy.deepcopy(self._memory[key])
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            if path.exists():
+                try:
+                    value = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    # A corrupt/unreadable spillover file is a miss, not a
+                    # crash; the recompute overwrites it (self-healing).
+                    pass
+                else:
+                    self._store_memory(key, value)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return True, copy.deepcopy(value)
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any, persist: bool = False) -> None:
+        """Store ``value``; ``persist=True`` also writes the JSON file.
+
+        A private deep copy is stored, so later mutations of the caller's
+        object cannot reach other cache consumers.
+        """
+        self._store_memory(key, copy.deepcopy(value))
+        if persist and self.disk_dir is not None:
+            path = self._disk_path(key)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(value, sort_keys=True))
+            tmp.replace(path)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], persist: bool = False
+    ) -> Any:
+        """Return the cached value for ``key`` or compute-and-store it."""
+        found, value = self.get(key)
+        if found:
+            return value
+        value = compute()
+        self.put(key, value, persist=persist)
+        return value
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (disk files are left in place)."""
+        self._memory.clear()
+
+    def _store_memory(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)

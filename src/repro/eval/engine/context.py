@@ -1,0 +1,56 @@
+"""Ambient engine: experiments run plans without threading an engine around.
+
+The CLI (or a test, or a library caller) installs a configured
+:class:`TrialEngine` with :func:`use_engine`; every experiment reached
+inside that scope — all of ``run-all`` — shares its worker pool and its
+measurement cache.  Outside any scope, :func:`get_engine` falls back to a
+process-wide serial engine, so library use keeps the caching behaviour
+without ever spawning workers behind a caller's back.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.eval.engine.executor import TrialEngine
+
+__all__ = ["get_engine", "use_engine", "reset_default_engine"]
+
+_active: TrialEngine | None = None
+_default: TrialEngine | None = None
+
+
+def get_engine() -> TrialEngine:
+    """The engine in scope: the installed one, else the serial default."""
+    global _default
+    if _active is not None:
+        return _active
+    if _default is None:
+        _default = TrialEngine(jobs=1)
+    return _default
+
+
+@contextmanager
+def use_engine(engine: TrialEngine) -> Iterator[TrialEngine]:
+    """Install ``engine`` as the ambient engine for the ``with`` scope."""
+    global _active
+    previous = _active
+    _active = engine
+    try:
+        yield engine
+    finally:
+        _active = previous
+
+
+def reset_default_engine() -> None:
+    """Drop the process-wide default engine (and its cache).
+
+    Tests use this to measure cold-cache behaviour; the next
+    :func:`get_engine` call outside a :func:`use_engine` scope builds a
+    fresh serial engine.
+    """
+    global _default
+    if _default is not None:
+        _default.close()
+    _default = None

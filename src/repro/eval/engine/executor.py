@@ -1,0 +1,393 @@
+"""Execution layer: run :class:`TrialPlan`\\ s serially or on a process pool.
+
+The engine owns three responsibilities the experiments used to interleave
+with their reporting code:
+
+* **scheduling** — a plan's cells run in-process (``jobs=1``) or across a
+  ``ProcessPoolExecutor`` with chunked dispatch, whichever the caller
+  configured; results always come back in plan order;
+* **determinism** — every trial seed derives from spec content
+  (:meth:`TrialSpec.trial_seed`), never from execution order, so a plan
+  produces bit-identical results for any worker count;
+* **accounting** — per-plan wall-clock and trials/sec throughput feed the
+  CLI summary lines and the perf trajectory.
+
+Cells are memoized in the engine's :class:`MeasurementCache` under their
+content fingerprint, so two experiments describing the same cell (the
+Fig. 1 office sweep and the σ_d measurement, say) share one computation.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.acoustics.environment import Environment
+from repro.core.config import ProtocolConfig
+from repro.sim.geometry import Point, Room
+from repro.sim.world import AcousticWorld
+
+from repro.eval.engine.cache import MeasurementCache
+from repro.eval.engine.spec import AUTH, VOUCH, CellResult, TrialPlan, TrialSpec
+from repro.eval.reporting import format_throughput
+
+__all__ = [
+    "EngineCounters",
+    "TrialEngine",
+    "build_pair_world",
+    "run_cell_spec",
+]
+
+_T = TypeVar("_T")
+
+
+def build_pair_world(
+    environment: Environment | str,
+    distance_m: float,
+    seed: int,
+    config: ProtocolConfig | None = None,
+    room: Room | None = None,
+) -> AcousticWorld:
+    """A world with one paired (authenticating, vouching) device pair.
+
+    The authenticating device sits at the origin; the vouching device at
+    ``(distance_m, 0)``.
+    """
+    world = AcousticWorld(
+        config=config or ProtocolConfig(),
+        environment=environment,
+        room=room or Room.open_space(),
+        seed=seed,
+    )
+    world.add_device(AUTH, Point(0.0, 0.0))
+    world.add_device(VOUCH, Point(distance_m, 0.0))
+    world.pair(AUTH, VOUCH)
+    return world
+
+
+def run_cell_spec(spec: TrialSpec) -> CellResult:
+    """Execute one cell: ``spec.n_trials`` independent ranging rounds.
+
+    Module-level (picklable) so pool workers can run it; each trial gets a
+    fresh world derived deterministically from the spec content.
+    """
+    cell = CellResult(environment=spec.env_name, distance_m=spec.distance_m)
+    for trial in range(spec.n_trials):
+        world = build_pair_world(
+            spec.environment,
+            spec.distance_m,
+            spec.trial_seed(trial),
+            config=spec.config,
+            room=spec.room,
+        )
+        providers: Sequence = ()
+        if spec.interference_factory is not None:
+            providers = spec.interference_factory(
+                world, world.rngs.generator("interference")
+            )
+        session = world.ranging_session(AUTH, VOUCH, providers, engine=spec.engine)
+        outcome = session.run()
+        cell.outcomes.append(outcome)
+        if outcome.ok:
+            cell.stats.add(outcome.require_distance() - spec.distance_m)
+        else:
+            cell.stats.add_not_present()
+    return cell
+
+
+def _run_spec_chunk(specs: list[TrialSpec]) -> list[CellResult]:
+    """Worker entry point: one pickled batch of cells per dispatch."""
+    return [run_cell_spec(spec) for spec in specs]
+
+
+def _run_task_chunk(
+    fn: Callable[[Any], Any], items: list[Any]
+) -> list[Any]:
+    """Worker entry point for generic (non-ranging-cell) trial batches."""
+    return [fn(item) for item in items]
+
+
+@dataclass
+class EngineCounters:
+    """Cumulative accounting across everything an engine has run."""
+
+    plans: int = 0
+    cells_executed: int = 0
+    cells_cached: int = 0
+    trials_executed: int = 0
+    trials_cached: int = 0
+    tasks_executed: int = 0
+    elapsed_s: float = 0.0
+
+    def snapshot(self) -> "EngineCounters":
+        return replace(self)
+
+    def since(self, earlier: "EngineCounters") -> "EngineCounters":
+        """Counter deltas accumulated after ``earlier`` was snapshotted."""
+        return EngineCounters(
+            plans=self.plans - earlier.plans,
+            cells_executed=self.cells_executed - earlier.cells_executed,
+            cells_cached=self.cells_cached - earlier.cells_cached,
+            trials_executed=self.trials_executed - earlier.trials_executed,
+            trials_cached=self.trials_cached - earlier.trials_cached,
+            tasks_executed=self.tasks_executed - earlier.tasks_executed,
+            elapsed_s=self.elapsed_s - earlier.elapsed_s,
+        )
+
+    @property
+    def trials_per_s(self) -> float:
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.trials_executed / self.elapsed_s
+
+
+class TrialEngine:
+    """Runs trial plans serially or on a process pool, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` executes in-process, ``None`` means auto
+        (``os.cpu_count()``).
+    cache:
+        Measurement cache (defaults to a fresh in-memory one).  Share one
+        cache across experiments — as the CLI does for ``run-all`` — to
+        deduplicate common measurements.
+    progress:
+        Optional callback receiving human-readable progress lines.
+    chunk_size:
+        Cells per pool dispatch; ``None`` auto-sizes for load balance.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: MeasurementCache | None = None,
+        progress: Callable[[str], None] | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        resolved = os.cpu_count() or 1 if jobs is None else jobs
+        if resolved < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        self.jobs = resolved
+        self.cache = cache if cache is not None else MeasurementCache()
+        self.progress = progress
+        self.chunk_size = chunk_size
+        self.counters = EngineCounters()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "TrialEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    # ------------------------------------------------------------------
+    # Plans of ranging cells
+    # ------------------------------------------------------------------
+
+    def run_plan(self, plan: TrialPlan) -> list[CellResult]:
+        """Evaluate every cell of ``plan``; results in plan order.
+
+        Cells already in the cache are served from it; the rest execute
+        serially or on the pool.  Identical specs appearing twice in one
+        plan are computed once.
+        """
+        start = perf_counter()
+        results: list[CellResult | None] = [None] * len(plan.specs)
+        keys = [f"cell:{spec.fingerprint()}" for spec in plan.specs]
+        missing: dict[str, list[int]] = {}
+        for index, key in enumerate(keys):
+            found, value = self.cache.get(key)
+            if found:
+                results[index] = value
+                self.counters.cells_cached += 1
+                self.counters.trials_cached += plan.specs[index].n_trials
+            else:
+                missing.setdefault(key, []).append(index)
+
+        if missing:
+            indices = [positions[0] for positions in missing.values()]
+            computed = self._execute_specs(
+                [plan.specs[i] for i in indices], plan.name
+            )
+            for key, cell in zip(missing, computed):
+                self.cache.put(key, cell)
+                first, *duplicates = missing[key]
+                results[first] = cell
+                for index in duplicates:
+                    results[index] = copy.deepcopy(cell)
+            self.counters.cells_executed += len(indices)
+            self.counters.trials_executed += sum(
+                plan.specs[i].n_trials for i in indices
+            )
+
+        elapsed = perf_counter() - start
+        self.counters.plans += 1
+        self.counters.elapsed_s += elapsed
+        executed_trials = sum(
+            plan.specs[i].n_trials
+            for positions in missing.values()
+            for i in positions[:1]
+        )
+        cached = len(plan.specs) - sum(len(p) for p in missing.values())
+        self._report(
+            f"[{plan.name}] "
+            + format_throughput(
+                executed_trials,
+                elapsed,
+                extra=(
+                    f"{cached}/{len(plan.specs)} cells cached, "
+                    f"jobs={self.jobs}"
+                ),
+            )
+        )
+        # Every slot must be filled: consumers zip results against
+        # plan.specs, so a silent gap would misattribute every later cell.
+        assert all(cell is not None for cell in results)
+        return results  # type: ignore[return-value]
+
+    def run_cell(self, spec: TrialSpec) -> CellResult:
+        """Evaluate a single cell through the cache (always in-process)."""
+        key = f"cell:{spec.fingerprint()}"
+        found, value = self.cache.get(key)
+        if found:
+            self.counters.cells_cached += 1
+            self.counters.trials_cached += spec.n_trials
+            return value
+        start = perf_counter()
+        cell = run_cell_spec(spec)
+        self.cache.put(key, cell)
+        self.counters.cells_executed += 1
+        self.counters.trials_executed += spec.n_trials
+        self.counters.elapsed_s += perf_counter() - start
+        return cell
+
+    def _execute_specs(
+        self, specs: list[TrialSpec], label: str
+    ) -> list[CellResult]:
+        if self.jobs == 1 or len(specs) == 1:
+            return [run_cell_spec(spec) for spec in specs]
+        chunks = self._chunk(specs)
+        parts = self._dispatch(chunks, label, len(specs))
+        return [cell for part in parts for cell in part]
+
+    # ------------------------------------------------------------------
+    # Generic trial batches (attacks, authentication loops, baselines)
+    # ------------------------------------------------------------------
+
+    def map_tasks(
+        self,
+        fn: Callable[[Any], _T],
+        items: Sequence[Any],
+        label: str = "tasks",
+        trials: int | None = None,
+    ) -> list[_T]:
+        """Parallel-map a picklable, module-level ``fn`` over ``items``.
+
+        The escape hatch for experiment workloads that are not ranging
+        cells (attack trials, authentication loops, the Echo baseline).
+        ``fn(item)`` must be deterministic given ``item`` — derive all
+        randomness from seeds carried inside ``item``.  Results come back
+        in input order; ``trials`` (default ``len(items)``) feeds the
+        throughput accounting.
+        """
+        start = perf_counter()
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            results = [fn(item) for item in items]
+        else:
+            chunks = self._chunk(items)
+            parts = self._dispatch(chunks, label, len(items), fn=fn)
+            results = [value for part in parts for value in part]
+        elapsed = perf_counter() - start
+        n_trials = len(items) if trials is None else trials
+        self.counters.tasks_executed += len(items)
+        self.counters.trials_executed += n_trials
+        self.counters.elapsed_s += elapsed
+        self._report(
+            f"[{label}] "
+            + format_throughput(n_trials, elapsed, extra=f"jobs={self.jobs}")
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # Pool plumbing
+    # ------------------------------------------------------------------
+
+    def _chunk(self, items: list[_T]) -> list[list[_T]]:
+        """Split work into at most ``4 × jobs`` batches.
+
+        One future per item maximizes balance but pays pickle and
+        world-build overhead per dispatch; a handful of batches per worker
+        keeps the pool busy while amortizing that cost.
+        """
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            size = max(1, len(items) // (self.jobs * 4))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    def _dispatch(
+        self,
+        chunks: list[list[Any]],
+        label: str,
+        total: int,
+        fn: Callable[..., Any] | None = None,
+    ) -> list[list[Any]]:
+        """Run chunks on the pool, preserving order; report completions.
+
+        Without ``fn`` the chunks are :class:`TrialSpec` batches; with it
+        they are generic task batches mapped through ``fn``.
+        """
+        pool = self._executor()
+        if fn is not None:
+            futures = {
+                pool.submit(_run_task_chunk, fn, chunk): position
+                for position, chunk in enumerate(chunks)
+            }
+        else:
+            futures = {
+                pool.submit(_run_spec_chunk, chunk): position
+                for position, chunk in enumerate(chunks)
+            }
+        parts: list[list[Any] | None] = [None] * len(chunks)
+        done_items = 0
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                position = futures[future]
+                parts[position] = future.result()
+                done_items += len(chunks[position])
+                if len(chunks) > 1:
+                    self._report(
+                        f"[{label}] {done_items}/{total} cells done"
+                    )
+        assert all(part is not None for part in parts)
+        return parts  # type: ignore[return-value]

@@ -11,14 +11,17 @@ those are reasonable choices on the same substrate:
 * **noise scale** — errors grow with the broadband floor, the mechanism
   behind the office→street ordering;
 * **signal length** — shorter references are cheaper but noisier.
+
+All four sweeps are described as one :class:`TrialPlan` (16 cells), so the
+engine can spread the whole sensitivity analysis across workers at once.
 """
 
 from __future__ import annotations
 
 from repro.acoustics.environment import get_environment
 from repro.core.config import ProtocolConfig
+from repro.eval.engine import TrialPlan, TrialSpec, get_engine
 from repro.eval.reporting import ExperimentReport
-from repro.eval.trials import run_ranging_cell
 from repro.sim.rng import derive_seed
 
 __all__ = ["run"]
@@ -35,6 +38,64 @@ def _cell_summary(cell) -> tuple[str, str]:
     return "-", f"{cell.stats.not_present}/{cell.stats.trials}"
 
 
+_THETAS = (1, 2, 3, 5, 8)
+_COARSE_STEPS = (250, 500, 1000, 2000)
+_NOISE_SCALES = (0.25, 1.0, 2.0, 4.0)
+_SIGNAL_LENGTHS = (2048, 4096, 8192)
+
+
+def _plan(trials: int, seed: int) -> TrialPlan:
+    """All four sweeps at d = 1 m in the office, keyed per sweep point."""
+    office = get_environment("office")
+    specs = []
+    for theta in _THETAS:
+        specs.append(
+            TrialSpec(
+                environment="office",
+                distance_m=_DISTANCE,
+                n_trials=trials,
+                seed=derive_seed(seed, f"theta:{theta}"),
+                config=ProtocolConfig(theta=theta),
+                key=f"theta:{theta}",
+            )
+        )
+    for step in _COARSE_STEPS:
+        specs.append(
+            TrialSpec(
+                environment="office",
+                distance_m=_DISTANCE,
+                n_trials=trials,
+                seed=derive_seed(seed, f"step:{step}"),
+                config=ProtocolConfig(
+                    coarse_step=step, fine_radius=max(1200, step)
+                ),
+                key=f"coarse_step:{step}",
+            )
+        )
+    for scale in _NOISE_SCALES:
+        specs.append(
+            TrialSpec(
+                environment=office.with_noise_scale(scale),
+                distance_m=_DISTANCE,
+                n_trials=trials,
+                seed=derive_seed(seed, f"noise:{scale}"),
+                key=f"noise:{scale}",
+            )
+        )
+    for length in _SIGNAL_LENGTHS:
+        specs.append(
+            TrialSpec(
+                environment="office",
+                distance_m=_DISTANCE,
+                n_trials=trials,
+                seed=derive_seed(seed, f"len:{length}"),
+                config=ProtocolConfig(signal_length=length),
+                key=f"signal_length:{length}",
+            )
+        )
+    return TrialPlan("ablations", specs)
+
+
 def run(trials: int = 8, seed: int = 0, quick: bool = False) -> ExperimentReport:
     """Run all four ablation sweeps at d = 1 m in the office."""
     if quick:
@@ -43,13 +104,12 @@ def run(trials: int = 8, seed: int = 0, quick: bool = False) -> ExperimentReport
         name="ablations", title="parameter sensitivity (reproduction extension)"
     )
 
+    plan = _plan(trials, seed)
+    cells = dict(zip((s.key for s in plan.specs), get_engine().run_plan(plan)))
+
     rows = []
-    for theta in (1, 2, 3, 5, 8):
-        config = ProtocolConfig(theta=theta)
-        cell = run_ranging_cell(
-            "office", _DISTANCE, trials, derive_seed(seed, f"theta:{theta}"),
-            config=config,
-        )
+    for theta in _THETAS:
+        cell = cells[f"theta:{theta}"]
         err, bot = _cell_summary(cell)
         rows.append([theta, err, bot])
         report.data[f"theta:{theta}"] = cell.stats
@@ -60,12 +120,8 @@ def run(trials: int = 8, seed: int = 0, quick: bool = False) -> ExperimentReport
     )
 
     rows = []
-    for step in (250, 500, 1000, 2000):
-        config = ProtocolConfig(coarse_step=step, fine_radius=max(1200, step))
-        cell = run_ranging_cell(
-            "office", _DISTANCE, trials, derive_seed(seed, f"step:{step}"),
-            config=config,
-        )
+    for step in _COARSE_STEPS:
+        cell = cells[f"coarse_step:{step}"]
         err, bot = _cell_summary(cell)
         windows = 0
         oks = [o for o in cell.outcomes if o.auth_observation is not None]
@@ -88,12 +144,8 @@ def run(trials: int = 8, seed: int = 0, quick: bool = False) -> ExperimentReport
     )
 
     rows = []
-    office = get_environment("office")
-    for scale in (0.25, 1.0, 2.0, 4.0):
-        scaled = office.with_noise_scale(scale)
-        cell = run_ranging_cell(
-            scaled, _DISTANCE, trials, derive_seed(seed, f"noise:{scale}")
-        )
+    for scale in _NOISE_SCALES:
+        cell = cells[f"noise:{scale}"]
         err, bot = _cell_summary(cell)
         rows.append([f"×{scale:g}", err, bot])
         report.data[f"noise:{scale}"] = cell.stats
@@ -105,12 +157,8 @@ def run(trials: int = 8, seed: int = 0, quick: bool = False) -> ExperimentReport
     )
 
     rows = []
-    for length in (2048, 4096, 8192):
-        config = ProtocolConfig(signal_length=length)
-        cell = run_ranging_cell(
-            "office", _DISTANCE, trials, derive_seed(seed, f"len:{length}"),
-            config=config,
-        )
+    for length in _SIGNAL_LENGTHS:
+        cell = cells[f"signal_length:{length}"]
         err, bot = _cell_summary(cell)
         rows.append([length, err, bot])
         report.data[f"signal_length:{length}"] = cell.stats

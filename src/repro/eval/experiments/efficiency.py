@@ -8,7 +8,8 @@ The reproduction derives both quantities from the substrate's cost model:
 recording span + Bluetooth latency + modeled phone-class detection compute
 for latency; component power draws × phase durations against an S4-class
 battery for energy.  The §VI-D latency optimization (pre-authentication at
-pickup) is exercised as an extension.
+pickup) is exercised as an extension.  The independent authentication
+trials fan out through the engine's generic task path.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.core.config import AuthConfig
 from repro.core.piano import PreAuthenticator
 from repro.devices.battery import S4_BATTERY_JOULES
 from repro.devices.sensors import PickupDetector, synthesize_pickup_trace
+from repro.eval.engine import get_engine
 from repro.eval.reporting import ExperimentReport
 from repro.eval.trials import AUTH, VOUCH, build_pair_world
 from repro.sim.rng import derive_seed, generator_from_seed
@@ -31,6 +33,20 @@ PAPER_NOTES = (
 )
 
 
+def _efficiency_trial(
+    task: tuple[int, int],
+) -> tuple[float, float] | None:
+    """(elapsed_s, energy_j) of one authentication, or None if it aborted."""
+    trial, seed = task
+    world = build_pair_world(
+        "office", 0.8, derive_seed(seed, f"efficiency:{trial}")
+    )
+    result = world.authenticate(AUTH, VOUCH, AuthConfig(threshold_m=1.0))
+    if result.ranging is not None and result.ranging.ok:
+        return result.elapsed_s, result.energy_j
+    return None
+
+
 def run(trials: int = 20, seed: int = 0, quick: bool = False) -> ExperimentReport:
     """Regenerate the efficiency numbers."""
     if quick:
@@ -39,16 +55,14 @@ def run(trials: int = 20, seed: int = 0, quick: bool = False) -> ExperimentRepor
         name="efficiency", title="latency and energy per authentication (§VI-D)"
     )
     report.add(PAPER_NOTES)
-    elapsed = []
-    energy = []
-    for trial in range(trials):
-        world = build_pair_world(
-            "office", 0.8, derive_seed(seed, f"efficiency:{trial}")
-        )
-        result = world.authenticate(AUTH, VOUCH, AuthConfig(threshold_m=1.0))
-        if result.ranging is not None and result.ranging.ok:
-            elapsed.append(result.elapsed_s)
-            energy.append(result.energy_j)
+    samples = get_engine().map_tasks(
+        _efficiency_trial,
+        [(trial, seed) for trial in range(trials)],
+        label="efficiency",
+        trials=trials,
+    )
+    elapsed = [sample[0] for sample in samples if sample is not None]
+    energy = [sample[1] for sample in samples if sample is not None]
     mean_elapsed = float(np.mean(elapsed))
     mean_energy = float(np.mean(energy))
     per_100_percent = 100.0 * (100.0 * mean_energy / S4_BATTERY_JOULES)

@@ -6,16 +6,17 @@ the street, and in a restaurant.  Reported reference points: office errors
 average 5–7 cm; street errors 10–15 cm; all error bars fall within roughly
 −5…+35 cm.
 
-This driver regenerates the four panels as rows of
+This driver describes the 16 cells as one :class:`TrialPlan` — the engine
+schedules them across workers — and regenerates the four panels as rows of
 (mean |error|, std, max, ⊥-count) per distance and environment.
 """
 
 from __future__ import annotations
 
 from repro.acoustics.environment import FIGURE1_ENVIRONMENTS
+from repro.eval.engine import TrialPlan, TrialSpec, get_engine
 from repro.eval.reporting import ExperimentReport
 from repro.eval.stats import pooled_sigma
-from repro.eval.trials import run_ranging_cell
 
 __all__ = ["DISTANCES_M", "run"]
 
@@ -46,11 +47,28 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
         title="distance-estimation errors in four environments (Fig. 1)",
     )
     report.add(PAPER_NOTES)
+
+    plan = TrialPlan(
+        "fig1",
+        [
+            TrialSpec(
+                environment=environment,
+                distance_m=distance,
+                n_trials=trials,
+                seed=seed,
+                key=f"{environment.name}:{distance}",
+            )
+            for environment in FIGURE1_ENVIRONMENTS
+            for distance in DISTANCES_M
+        ],
+    )
+    results = dict(zip((s.key for s in plan.specs), get_engine().run_plan(plan)))
+
     for environment in FIGURE1_ENVIRONMENTS:
         rows = []
         cells = []
         for distance in DISTANCES_M:
-            cell = run_ranging_cell(environment, distance, trials, seed)
+            cell = results[f"{environment.name}:{distance}"]
             cells.append(cell.stats)
             if cell.stats.n:
                 rows.append(

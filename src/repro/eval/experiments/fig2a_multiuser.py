@@ -10,9 +10,10 @@ office case (Fig. 1a).
 
 from __future__ import annotations
 
+from repro.eval.engine import TrialPlan, TrialSpec, get_engine
 from repro.eval.reporting import ExperimentReport
 from repro.eval.stats import pooled_sigma
-from repro.eval.trials import concurrent_users_interference, run_ranging_cell
+from repro.eval.trials import concurrent_users_interference
 
 __all__ = ["DISTANCES_M", "run"]
 
@@ -33,18 +34,31 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
         title="multi-user interference in a shared office (Fig. 2a)",
     )
     report.add(PAPER_NOTES)
+
+    plan = TrialPlan(
+        "fig2a",
+        [
+            TrialSpec(
+                environment="office",
+                distance_m=distance,
+                n_trials=trials,
+                seed=seed,
+                interference_factory=concurrent_users_interference(
+                    n_other_pairs=2
+                ),
+                key=f"multiuser:{distance}",
+            )
+            for distance in DISTANCES_M
+        ],
+    )
+    cells_by_distance = dict(zip(DISTANCES_M, get_engine().run_plan(plan)))
+
     rows = []
     cells = []
     total_bot = 0
     total = 0
     for distance in DISTANCES_M:
-        cell = run_ranging_cell(
-            "office",
-            distance,
-            trials,
-            seed,
-            interference_factory=concurrent_users_interference(n_other_pairs=2),
-        )
+        cell = cells_by_distance[distance]
         cells.append(cell.stats)
         total_bot += cell.stats.not_present
         total += cell.stats.trials

@@ -6,6 +6,11 @@ correlation detection) and Echo-Secure (round-trip timing minus a
 calibrated processing delay) err by meters — up to ≈ 25–30 m on the
 figure's scale — because of frequency smoothing and unpredictable
 processing delays respectively.
+
+The ACTION and ACTION-CC sweeps are one :class:`TrialPlan` (the CC cells
+carry the engine override in their specs); the Echo rounds don't fit the
+ranging-cell shape, so they go through the engine's generic
+``map_tasks`` path — one task per distance.
 """
 
 from __future__ import annotations
@@ -16,8 +21,9 @@ from repro.acoustics.environment import get_environment
 from repro.baselines.cc_detector import ActionCCRanging
 from repro.baselines.echo import EchoSecureProtocol
 from repro.core.config import ProtocolConfig
+from repro.eval.engine import TrialPlan, TrialSpec, get_engine
 from repro.eval.reporting import ExperimentReport
-from repro.eval.trials import AUTH, VOUCH, build_pair_world, run_ranging_cell
+from repro.eval.trials import AUTH, VOUCH, build_pair_world
 from repro.sim.rng import derive_seed
 
 __all__ = ["DISTANCES_M", "run"]
@@ -30,10 +36,13 @@ PAPER_NOTES = (
 )
 
 
-def _echo_mean_abs_error_cm(
-    distance: float, trials: int, seed: int, calibrated_delay: float
-) -> tuple[float, int]:
-    """Mean |error| of Echo-Secure rounds at one distance."""
+def _echo_cell(task: tuple[float, int, int, float]) -> tuple[float, int]:
+    """Mean |error| (cm) and failures of Echo-Secure rounds at one distance.
+
+    Module-level so the engine can ship it to pool workers; all randomness
+    derives from the seeds in ``task``.
+    """
+    distance, trials, seed, calibrated_delay = task
     config = ProtocolConfig()
     errors = []
     failures = 0
@@ -70,6 +79,7 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
         title="secure acoustic ranging comparison (Fig. 2b)",
     )
     report.add(PAPER_NOTES)
+    engine = get_engine()
 
     # One-time Echo calibration with the devices together (§VI-B3).
     calib_world = build_pair_world("office", 0.02, derive_seed(seed, "echo-calib"))
@@ -88,25 +98,45 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
     )
     report.data["echo:calibrated_delay_s"] = calibrated_delay
 
-    rows = []
-    for distance in DISTANCES_M:
-        action_cell = run_ranging_cell("office", distance, trials, seed)
-        cc_cell = run_ranging_cell(
-            "office",
-            distance,
-            trials,
-            derive_seed(seed, "cc"),
-            engine=ActionCCRanging(ProtocolConfig()),
-        )
-        echo_cm, echo_failures = _echo_mean_abs_error_cm(
-            distance, trials, seed, calibrated_delay
-        )
+    plan = TrialPlan(
+        "fig2b",
+        [
+            TrialSpec(
+                environment="office",
+                distance_m=distance,
+                n_trials=trials,
+                seed=seed,
+                key=f"action:{distance}",
+            )
+            for distance in DISTANCES_M
+        ]
+        + [
+            TrialSpec(
+                environment="office",
+                distance_m=distance,
+                n_trials=trials,
+                seed=derive_seed(seed, "cc"),
+                engine=ActionCCRanging(ProtocolConfig()),
+                key=f"action_cc:{distance}",
+            )
+            for distance in DISTANCES_M
+        ],
+    )
+    cells = dict(zip((s.key for s in plan.specs), engine.run_plan(plan)))
+    echo_results = engine.map_tasks(
+        _echo_cell,
+        [(distance, trials, seed, calibrated_delay) for distance in DISTANCES_M],
+        label="fig2b:echo",
+        trials=trials * len(DISTANCES_M),
+    )
 
+    rows = []
+    for distance, (echo_cm, echo_failures) in zip(DISTANCES_M, echo_results):
         def _cm(stats) -> float:
             return stats.mean_abs_cm() if stats.n else float("nan")
 
-        action_cm = _cm(action_cell.stats)
-        cc_cm = _cm(cc_cell.stats)
+        action_cm = _cm(cells[f"action:{distance}"].stats)
+        cc_cm = _cm(cells[f"action_cc:{distance}"].stats)
         rows.append(
             [
                 f"{distance:.1f}",

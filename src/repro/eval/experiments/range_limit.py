@@ -10,8 +10,8 @@ taken as the smallest distance at which at least half the rounds abort.
 
 from __future__ import annotations
 
+from repro.eval.engine import TrialPlan, TrialSpec, get_engine
 from repro.eval.reporting import ExperimentReport
-from repro.eval.trials import run_ranging_cell
 
 __all__ = ["DISTANCES_M", "run"]
 
@@ -28,10 +28,25 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
         name="range_limit", title="maximum acoustic detection range (§VI-B)"
     )
     report.add(PAPER_NOTES)
+
+    plan = TrialPlan(
+        "range_limit",
+        [
+            TrialSpec(
+                environment="office",
+                distance_m=distance,
+                n_trials=trials,
+                seed=seed,
+                key=f"range:{distance}",
+            )
+            for distance in DISTANCES_M
+        ],
+    )
+    cells = get_engine().run_plan(plan)
+
     rows = []
     d_s = None
-    for distance in DISTANCES_M:
-        cell = run_ranging_cell("office", distance, trials, seed)
+    for distance, cell in zip(DISTANCES_M, cells):
         rate = cell.stats.not_present_rate()
         rows.append([f"{distance:.2f}", f"{100*rate:.0f}%"])
         report.data[f"not_present_rate:{distance}"] = rate

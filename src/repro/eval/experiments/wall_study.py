@@ -7,13 +7,16 @@ This is a security feature radio-based ranging cannot offer — Bluetooth
 and Wi-Fi cross walls.
 
 The experiment runs the same short-distance pair with and without an
-interior wall (≈ 30 dB amplitude attenuation) between the devices.
+interior wall (≈ 30 dB amplitude attenuation) between the devices.  The
+two scenarios are full authentication loops rather than ranging cells, so
+they run through the engine's generic ``map_tasks`` path.
 """
 
 from __future__ import annotations
 
 from repro.core.config import AuthConfig
 from repro.core.decisions import DenyReason
+from repro.eval.engine import get_engine
 from repro.eval.reporting import ExperimentReport
 from repro.eval.trials import AUTH, VOUCH, build_pair_world
 from repro.sim.geometry import Room
@@ -26,6 +29,31 @@ PAPER_NOTES = (
     "denied whenever a wall separates the devices, at any distance"
 )
 
+_DISTANCE = 1.0
+
+
+def _wall_scenario(
+    task: tuple[str, Room, float, int, int, float],
+) -> tuple[int, int]:
+    """(grants, ⊥-denies) over one scenario's authentication trials."""
+    label, room, distance, trials, seed, threshold_m = task
+    auth_config = AuthConfig(threshold_m=threshold_m)
+    grants = 0
+    denies_not_present = 0
+    for trial in range(trials):
+        world = build_pair_world(
+            "office",
+            distance,
+            derive_seed(seed, f"wall:{label}:{trial}"),
+            room=room,
+        )
+        result = world.authenticate(AUTH, VOUCH, auth_config)
+        if result.granted:
+            grants += 1
+        elif result.reason is DenyReason.SIGNAL_NOT_PRESENT:
+            denies_not_present += 1
+    return grants, denies_not_present
+
 
 def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentReport:
     """Regenerate the wall study: grant rate with and without the wall."""
@@ -35,27 +63,23 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
         name="wall", title="devices separated by a wall (§VI-B)"
     )
     report.add(PAPER_NOTES)
-    distance = 1.0
-    auth_config = AuthConfig(threshold_m=1.5)
-    rows = []
-    for label, room in (
+    distance = _DISTANCE
+    threshold_m = 1.5
+    scenarios = (
         ("open space", Room.open_space()),
         ("interior wall between devices", Room.with_dividing_wall(x=distance / 2)),
-    ):
-        grants = 0
-        denies_not_present = 0
-        for trial in range(trials):
-            world = build_pair_world(
-                "office",
-                distance,
-                derive_seed(seed, f"wall:{label}:{trial}"),
-                room=room,
-            )
-            result = world.authenticate(AUTH, VOUCH, auth_config)
-            if result.granted:
-                grants += 1
-            elif result.reason is DenyReason.SIGNAL_NOT_PRESENT:
-                denies_not_present += 1
+    )
+    outcomes = get_engine().map_tasks(
+        _wall_scenario,
+        [
+            (label, room, distance, trials, seed, threshold_m)
+            for label, room in scenarios
+        ],
+        label="wall",
+        trials=trials * len(scenarios),
+    )
+    rows = []
+    for (label, _room), (grants, denies_not_present) in zip(scenarios, outcomes):
         rows.append([label, f"{grants}/{trials}", f"{denies_not_present}/{trials}"])
         report.data[f"grants:{label}"] = grants
         report.data[f"not_present:{label}"] = denies_not_present
@@ -64,6 +88,6 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
     report.add_table(
         ["scenario", "grants", "denied as not-present"],
         rows,
-        title=f"wall study at {distance:.1f} m, τ = {auth_config.threshold_m:.1f} m",
+        title=f"wall study at {distance:.1f} m, τ = {threshold_m:.1f} m",
     )
     return report

@@ -7,8 +7,10 @@ a runner ``run(trials=..., seed=..., quick=...) -> ExperimentReport``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Protocol
 
+from repro.eval.engine import get_engine
 from repro.eval.experiments import (
     ablations,
     efficiency,
@@ -123,17 +125,36 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
 def run_experiment(
     name: str, trials: int | None = None, seed: int = 0, quick: bool = False
 ) -> ExperimentReport:
-    """Run a registered experiment by id."""
+    """Run a registered experiment by id.
+
+    The experiment executes on the ambient
+    :class:`~repro.eval.engine.TrialEngine`; its wall-clock and trial
+    accounting land in ``report.data`` under ``engine:*`` keys (the CLI
+    prints them as the per-experiment summary line).
+    """
     try:
         entry = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
-    return entry.runner(
+    engine = get_engine()
+    before = engine.counters.snapshot()
+    start = perf_counter()
+    report = entry.runner(
         trials=trials if trials is not None else entry.default_trials,
         seed=seed,
         quick=quick,
     )
+    elapsed = perf_counter() - start
+    delta = engine.counters.since(before)
+    report.data["engine:elapsed_s"] = elapsed
+    report.data["engine:trials_executed"] = delta.trials_executed
+    report.data["engine:trials_cached"] = delta.trials_cached
+    report.data["engine:trials_per_s"] = (
+        delta.trials_executed / elapsed if elapsed > 0 else 0.0
+    )
+    report.data["engine:jobs"] = engine.jobs
+    return report
 
 
 def list_experiments() -> list[ExperimentEntry]:

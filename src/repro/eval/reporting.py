@@ -10,7 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-__all__ = ["ExperimentReport", "format_table", "format_percent_row"]
+__all__ = [
+    "ExperimentReport",
+    "format_table",
+    "format_percent_row",
+    "format_throughput",
+]
 
 
 def format_table(
@@ -39,6 +44,26 @@ def format_table(
 def format_percent_row(values: Sequence[float], digits: int = 1) -> list[str]:
     """Format percentages the way the paper prints them (e.g. '2.8%')."""
     return [f"{value:.{digits}f}%" for value in values]
+
+
+def format_throughput(
+    trials: int,
+    elapsed_s: float,
+    cached_trials: int = 0,
+    extra: str | None = None,
+) -> str:
+    """The engine summary printed per experiment and per plan.
+
+    e.g. ``"160 trials in 3.2s (50.3 trials/s, 40 from cache)"``;
+    ``extra`` appends further detail inside the parentheses.
+    """
+    rate = trials / elapsed_s if elapsed_s > 0 else 0.0
+    text = f"{trials} trials in {elapsed_s:.1f}s ({rate:.1f} trials/s"
+    if cached_trials:
+        text += f", {cached_trials} from cache"
+    if extra:
+        text += f", {extra}"
+    return text + ")"
 
 
 @dataclass

@@ -2,72 +2,53 @@
 
 Every evaluation cell boils down to: build a two-device world at a given
 distance in a given environment, run N ranging rounds (optionally with
-interference), and collect the outcomes.  The helpers here centralize that
-so experiments stay declarative.
+interference), and collect the outcomes.  The mechanics live in
+:mod:`repro.eval.engine`; this module keeps the experiment-facing helpers
+(and the historical import surface — ``build_pair_world``, ``CellResult``,
+``AUTH``/``VOUCH`` re-export from here).
+
+:func:`run_ranging_cell` is the single-cell convenience: it routes through
+the ambient :class:`~repro.eval.engine.TrialEngine`, so repeated requests
+for the same cell are served from the shared measurement cache.
+Experiments that need many cells should build a
+:class:`~repro.eval.engine.TrialPlan` instead and let the engine schedule
+the whole batch at once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.acoustics.environment import Environment, get_environment
+from repro.acoustics.environment import Environment
 from repro.acoustics.mixer import PlaybackEvent
 from repro.core.config import ProtocolConfig
-from repro.core.ranging import RangingOutcome, RangingStatus
+from repro.core.ranging import RangingEngine, RangingOutcome, RangingStatus
 from repro.core.signal_construction import construct_reference_signal
 from repro.dsp.quantize import quantize_pcm16
-from repro.eval.stats import ErrorStats
+from repro.eval.engine import (
+    AUTH,
+    VOUCH,
+    CellResult,
+    InterferenceFactory,
+    TrialSpec,
+    build_pair_world,
+    get_engine,
+)
 from repro.sim.geometry import Point, Room
-from repro.sim.rng import derive_seed
 from repro.sim.world import AcousticWorld
 
 __all__ = [
     "build_pair_world",
     "run_ranging_cell",
     "concurrent_users_interference",
+    "ConcurrentUsersInterference",
+    "CellResult",
+    "InterferenceFactory",
     "AUTH",
     "VOUCH",
 ]
-
-AUTH = "auth-device"
-VOUCH = "vouch-device"
-
-
-def build_pair_world(
-    environment: Environment | str,
-    distance_m: float,
-    seed: int,
-    config: ProtocolConfig | None = None,
-    room: Room | None = None,
-) -> AcousticWorld:
-    """A world with one paired (authenticating, vouching) device pair.
-
-    The authenticating device sits at the origin; the vouching device at
-    ``(distance_m, 0)``.
-    """
-    world = AcousticWorld(
-        config=config or ProtocolConfig(),
-        environment=environment,
-        room=room or Room.open_space(),
-        seed=seed,
-    )
-    world.add_device(AUTH, Point(0.0, 0.0))
-    world.add_device(VOUCH, Point(distance_m, 0.0))
-    world.pair(AUTH, VOUCH)
-    return world
-
-
-@dataclass
-class CellResult:
-    """Outcomes plus error statistics for one (environment, distance) cell."""
-
-    environment: str
-    distance_m: float
-    outcomes: list[RangingOutcome] = field(default_factory=list)
-    stats: ErrorStats = field(default_factory=ErrorStats)
 
 
 def run_ranging_cell(
@@ -77,8 +58,8 @@ def run_ranging_cell(
     seed: int,
     config: ProtocolConfig | None = None,
     room: Room | None = None,
-    interference_factory=None,
-    engine=None,
+    interference_factory: InterferenceFactory | None = None,
+    engine: RangingEngine | None = None,
 ) -> CellResult:
     """Run ``n_trials`` independent ranging rounds at one distance.
 
@@ -88,50 +69,48 @@ def run_ranging_cell(
     Parameters
     ----------
     interference_factory:
-        Optional callable ``(world, trial_rng) -> list[InterferenceProvider]``
+        Optional :data:`~repro.eval.engine.InterferenceFactory` — a
+        picklable callable ``(world, trial_rng) -> [InterferenceProvider]``
         used for multi-user and attack scenarios.
     engine:
-        Optional ranging-engine override (e.g. ACTION-CC).
+        Optional :class:`~repro.core.ranging.RangingEngine` override
+        (e.g. ACTION-CC).
     """
-    env_name = (
-        environment if isinstance(environment, str) else environment.name
+    spec = TrialSpec(
+        environment=environment,
+        distance_m=distance_m,
+        n_trials=n_trials,
+        seed=seed,
+        config=config,
+        room=room,
+        interference_factory=interference_factory,
+        engine=engine,
     )
-    cell = CellResult(environment=env_name, distance_m=distance_m)
-    for trial in range(n_trials):
-        trial_seed = derive_seed(seed, f"{env_name}:{distance_m}:{trial}")
-        world = build_pair_world(
-            environment, distance_m, trial_seed, config=config, room=room
-        )
-        providers: Sequence = ()
-        if interference_factory is not None:
-            providers = interference_factory(
-                world, world.rngs.generator("interference")
-            )
-        session = world.ranging_session(AUTH, VOUCH, providers, engine=engine)
-        outcome = session.run()
-        cell.outcomes.append(outcome)
-        if outcome.ok:
-            cell.stats.add(outcome.require_distance() - distance_m)
-        else:
-            cell.stats.add_not_present()
-    return cell
+    return get_engine().run_cell(spec)
 
 
-def concurrent_users_interference(n_other_pairs: int = 2):
+@dataclass(frozen=True)
+class ConcurrentUsersInterference:
     """Interference factory for the Fig. 2(a) multi-user scenario.
 
     Each additional PIANO pair plays two freshly randomized reference
     signals at uniformly random times inside the session's acoustic
     window, from positions 1–3 m away — exactly how the paper simulates 3
     concurrent users in a shared office (§VI-B2).
+
+    A module-level dataclass rather than a closure so that
+    :class:`~repro.eval.engine.TrialSpec` instances carrying it pickle
+    cleanly to pool workers (and fingerprint by content).
     """
 
-    def factory(world: AcousticWorld, rng: np.random.Generator):
+    n_other_pairs: int = 2
+
+    def __call__(self, world: AcousticWorld, rng: np.random.Generator):
         config = world.config
 
         # Register the interfering pairs' devices once per world.
         interferers = []
-        for pair in range(n_other_pairs):
+        for pair in range(self.n_other_pairs):
             for member in range(2):
                 name = f"other-user-{pair}-{member}"
                 angle = rng.uniform(0.0, 2.0 * np.pi)
@@ -153,7 +132,7 @@ def concurrent_users_interference(n_other_pairs: int = 2):
             at a realistic rate.
             """
             events = []
-            for pair in range(n_other_pairs):
+            for pair in range(self.n_other_pairs):
                 session_start = prng.uniform(window_start - 2.0, window_end)
                 offsets = (0.2, 0.65)
                 for member, offset in enumerate(offsets):
@@ -174,7 +153,13 @@ def concurrent_users_interference(n_other_pairs: int = 2):
 
         return [provider]
 
-    return factory
+
+def concurrent_users_interference(
+    n_other_pairs: int = 2,
+) -> ConcurrentUsersInterference:
+    """The Fig. 2(a) interference factory (see
+    :class:`ConcurrentUsersInterference`)."""
+    return ConcurrentUsersInterference(n_other_pairs=n_other_pairs)
 
 
 def not_present_count(outcomes: list[RangingOutcome]) -> int:
