@@ -1,0 +1,186 @@
+"""Hot-path throughput: per-session vs batched pipeline execution.
+
+Measures single-process trials/sec on a Fig. 1-style plan (four
+environments × four distances) for
+
+* ``pre_refactor_per_session`` — the monolithic session loop with the
+  original detector hot path (two-sided FFT over a full sliding-window
+  view, all bins materialized), i.e. the engine as it existed before the
+  staged-pipeline refactor;
+* ``staged_per_session`` — ``RangingSession.run()`` chaining the pipeline
+  stages serially (current ``--batch 1``);
+* ``batched_N`` — :class:`BatchedSessionRunner` at batch sizes 1/8/16/32
+  (current ``--batch N``).
+
+All variants produce bit-identical outcomes (asserted here as well); only
+the wall clock may differ.  Run as a script to (re)generate
+``BENCH_pipeline.json`` at the repository root so the perf trajectory of
+the hot path is tracked in-tree::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--trials N] [--reps R]
+
+or under the benchmark harness: ``pytest benchmarks/bench_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from repro.acoustics.environment import FIGURE1_ENVIRONMENTS
+from repro.core.detection import FrequencyDetector
+from repro.eval.engine import AUTH, VOUCH, TrialSpec, build_pair_world
+from repro.sim.pipeline import BatchedSessionRunner, run_monolithic
+
+_DISTANCES = (0.5, 1.0, 1.5, 2.0)
+BATCH_SIZES = (1, 8, 16, 32)
+
+
+def _fig1_specs(trials: int) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            environment=environment,
+            distance_m=distance,
+            n_trials=trials,
+            seed=0,
+        )
+        for environment in FIGURE1_ENVIRONMENTS
+        for distance in _DISTANCES
+    ]
+
+
+def _build_sessions(spec: TrialSpec):
+    sessions = []
+    for trial in range(spec.n_trials):
+        world = build_pair_world(
+            spec.environment, spec.distance_m, spec.trial_seed(trial)
+        )
+        sessions.append(world.ranging_session(AUTH, VOUCH))
+    return sessions
+
+
+def _run_plan(specs, executor):
+    """Outcomes for the whole plan; session building stays off the clock."""
+    prepared = [_build_sessions(spec) for spec in specs]
+    start = perf_counter()
+    outcomes = [executor(sessions) for sessions in prepared]
+    elapsed = perf_counter() - start
+    return outcomes, elapsed
+
+
+def _measure(specs, executor, reps: int):
+    """Best-of-``reps`` throughput (the host's scheduler noise is large)."""
+    total_trials = sum(spec.n_trials for spec in specs)
+    best_elapsed = None
+    outcomes = None
+    for _ in range(reps):
+        outcomes, elapsed = _run_plan(specs, executor)
+        best_elapsed = elapsed if best_elapsed is None else min(best_elapsed, elapsed)
+    return {
+        "trials": total_trials,
+        "seconds": round(best_elapsed, 4),
+        "trials_per_s": round(total_trials / best_elapsed, 3),
+    }, outcomes
+
+
+def _pre_refactor_executor(sessions):
+    return [run_monolithic(s.context, s.rng, s.artifacts) for s in sessions]
+
+
+def run_benchmark(trials: int = 2, reps: int = 2) -> dict:
+    """Measure every variant; returns the JSON-ready result document."""
+    specs = _fig1_specs(trials)
+    results = {}
+
+    original = FrequencyDetector.candidate_powers
+    FrequencyDetector.candidate_powers = (
+        FrequencyDetector.candidate_powers_reference
+    )
+    try:
+        results["pre_refactor_per_session"], baseline = _measure(
+            specs, _pre_refactor_executor, reps
+        )
+    finally:
+        FrequencyDetector.candidate_powers = original
+
+    results["staged_per_session"], staged = _measure(
+        specs, lambda sessions: [s.run() for s in sessions], reps
+    )
+    for batch in BATCH_SIZES:
+        runner = BatchedSessionRunner(batch)
+        results[f"batched_{batch}"], outcomes = _measure(specs, runner.run, reps)
+        assert outcomes == staged, (
+            f"batched_{batch} outcomes diverged from the staged path"
+        )
+
+    def _rate(name):
+        return results[name]["trials_per_s"]
+
+    return {
+        "plan": {
+            "style": "fig1",
+            "environments": [e.name for e in FIGURE1_ENVIRONMENTS],
+            "distances_m": list(_DISTANCES),
+            "trials_per_cell": trials,
+        },
+        "reps": reps,
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+        "speedups": {
+            "staged_vs_pre_refactor": round(
+                _rate("staged_per_session") / _rate("pre_refactor_per_session"), 2
+            ),
+            "batched_16_vs_pre_refactor": round(
+                _rate("batched_16") / _rate("pre_refactor_per_session"), 2
+            ),
+            "batched_16_vs_staged": round(
+                _rate("batched_16") / _rate("staged_per_session"), 2
+            ),
+        },
+        "notes": (
+            "single-process; outcomes bit-identical across all variants; "
+            "pre_refactor_per_session swaps candidate_powers for the "
+            "preserved reference implementation"
+        ),
+    }
+
+
+def test_pipeline_throughput(benchmark, quick):
+    document = benchmark.pedantic(
+        lambda: run_benchmark(trials=2 if quick else 4, reps=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(json.dumps(document["results"], indent=2))
+    print("speedups:", document["speedups"])
+    assert document["speedups"]["batched_16_vs_pre_refactor"] > 1.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=2, help="trials per cell")
+    parser.add_argument("--reps", type=int, default=2, help="best-of repetitions")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"),
+        help="where to write the JSON document",
+    )
+    args = parser.parse_args()
+    document = run_benchmark(trials=args.trials, reps=args.reps)
+    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+    print(json.dumps(document, indent=2))
+    print(f"\nwritten to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ off.
 
 import numpy as np
 
-from repro import AcousticWorld, AuthConfig, Point
+from repro import AuthConfig, Point
 from repro.attacks.all_frequency import AllFrequencySpoofAttack
 from repro.attacks.ambience_injection import AmbienceInjectionAttack
 from repro.attacks.guessing_replay import (

@@ -14,11 +14,12 @@ Quick smoke pass over every experiment, four worker processes::
 
     python -m repro run-all --quick --jobs 4
 
-Results are deterministic in ``--seed`` regardless of ``--jobs``: the
-parallel engine derives every trial's randomness from the experiment
-description, never from scheduling order.  ``--cache-dir`` persists
-shareable measurements (e.g. the σ_d estimates behind Tables I/II) as JSON
-across invocations.
+Results are deterministic in ``--seed`` regardless of ``--jobs`` and
+``--batch``: the parallel engine derives every trial's randomness from
+the experiment description, never from scheduling order, and the batched
+session pipeline preserves each trial's RNG stream exactly
+(``docs/pipeline.md``).  ``--cache-dir`` persists shareable measurements
+(e.g. the σ_d estimates behind Tables I/II) as JSON across invocations.
 """
 
 from __future__ import annotations
@@ -51,6 +52,17 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for trial execution (default: auto = CPU "
             "count; 1 = serial). Results are identical for any value."
+        ),
+    )
+    parser.add_argument(
+        "--batch",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "sessions per stacked DSP pass inside each cell (default: "
+            "auto; 1 = per-session execution). Results are identical "
+            "for any value."
         ),
     )
     parser.add_argument(
@@ -106,6 +118,7 @@ def _build_engine(args: argparse.Namespace) -> TrialEngine:
         jobs=args.jobs,
         cache=MeasurementCache(disk_dir=args.cache_dir),
         progress=progress,
+        batch_size=args.batch,
     )
 
 

@@ -12,7 +12,7 @@ Defaults reproduce the paper's prototype (§VI-A):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.exceptions import ConfigurationError
 

@@ -11,14 +11,39 @@ on-disk cache directory, surviving across CLI invocations (opt-in via
 from __future__ import annotations
 
 import copy
+import enum
 import hashlib
 import json
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 from typing import Any, Callable
 
-__all__ = ["CacheStats", "MeasurementCache"]
+__all__ = ["CacheStats", "MeasurementCache", "is_deeply_immutable"]
+
+_IMMUTABLE_SCALARS = (type(None), bool, int, float, complex, str, bytes)
+
+
+def is_deeply_immutable(value: Any) -> bool:
+    """Whether a value (recursively) cannot be mutated by its holder.
+
+    Scalars, enums, and tuples/frozensets/frozen-dataclasses of such are
+    safe to hand out from the cache without a defensive deep copy — a
+    :class:`~repro.core.ranging.RangingOutcome` qualifies end to end,
+    while a ``CellResult`` (mutable lists) does not.  Conservative by
+    design: anything unrecognized counts as mutable.
+    """
+    if isinstance(value, _IMMUTABLE_SCALARS) or isinstance(value, enum.Enum):
+        return True
+    if isinstance(value, (tuple, frozenset)):
+        return all(is_deeply_immutable(item) for item in value)
+    if is_dataclass(value) and not isinstance(value, type):
+        if not type(value).__dataclass_params__.frozen:  # type: ignore[attr-defined]
+            return False
+        return all(
+            is_deeply_immutable(getattr(value, f.name)) for f in fields(value)
+        )
+    return False
 
 
 @dataclass
@@ -71,14 +96,18 @@ class MeasurementCache:
     def get(self, key: str) -> tuple[bool, Any]:
         """Look ``key`` up; returns ``(found, value)``.
 
-        Hits return a deep copy: callers received fresh objects before
-        caching existed, and a mutation on one caller's result must not
-        poison the stored entry for everyone after it.
+        Hits on mutable values return a deep copy: callers received fresh
+        objects before caching existed, and a mutation on one caller's
+        result must not poison the stored entry for everyone after it.
+        Deeply immutable payloads (scalars, tuples of scalars, frozen
+        result objects) and entries stored with ``copy_on_hit=False``
+        skip the copy — the dominant cost of a hit on cache-heavy runs.
         """
         if key in self._memory:
             self._memory.move_to_end(key)
             self.stats.hits += 1
-            return True, copy.deepcopy(self._memory[key])
+            value, needs_copy = self._memory[key]
+            return True, copy.deepcopy(value) if needs_copy else value
         if self.disk_dir is not None:
             path = self._disk_path(key)
             if path.exists():
@@ -89,20 +118,34 @@ class MeasurementCache:
                     # crash; the recompute overwrites it (self-healing).
                     pass
                 else:
-                    self._store_memory(key, value)
+                    needs_copy = not is_deeply_immutable(value)
+                    self._store_memory(key, value, needs_copy)
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
-                    return True, copy.deepcopy(value)
+                    return True, copy.deepcopy(value) if needs_copy else value
         self.stats.misses += 1
         return False, None
 
-    def put(self, key: str, value: Any, persist: bool = False) -> None:
+    def put(
+        self,
+        key: str,
+        value: Any,
+        persist: bool = False,
+        copy_on_hit: bool = True,
+    ) -> None:
         """Store ``value``; ``persist=True`` also writes the JSON file.
 
-        A private deep copy is stored, so later mutations of the caller's
-        object cannot reach other cache consumers.
+        For mutable values a private deep copy is stored, so later
+        mutations of the caller's object cannot reach other cache
+        consumers.  Deeply immutable values are stored (and later served)
+        as-is.  ``copy_on_hit=False`` extends that no-copy contract to a
+        mutable value the caller promises nobody mutates — e.g. a result
+        treated as frozen by every consumer.
         """
-        self._store_memory(key, copy.deepcopy(value))
+        needs_copy = copy_on_hit and not is_deeply_immutable(value)
+        self._store_memory(
+            key, copy.deepcopy(value) if needs_copy else value, needs_copy
+        )
         if persist and self.disk_dir is not None:
             path = self._disk_path(key)
             tmp = path.with_suffix(".json.tmp")
@@ -110,22 +153,26 @@ class MeasurementCache:
             tmp.replace(path)
 
     def get_or_compute(
-        self, key: str, compute: Callable[[], Any], persist: bool = False
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        persist: bool = False,
+        copy_on_hit: bool = True,
     ) -> Any:
         """Return the cached value for ``key`` or compute-and-store it."""
         found, value = self.get(key)
         if found:
             return value
         value = compute()
-        self.put(key, value, persist=persist)
+        self.put(key, value, persist=persist, copy_on_hit=copy_on_hit)
         return value
 
     def clear(self) -> None:
         """Drop the in-memory entries (disk files are left in place)."""
         self._memory.clear()
 
-    def _store_memory(self, key: str, value: Any) -> None:
-        self._memory[key] = value
+    def _store_memory(self, key: str, value: Any, needs_copy: bool) -> None:
+        self._memory[key] = (value, needs_copy)
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)

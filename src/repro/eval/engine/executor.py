@@ -29,6 +29,7 @@ from typing import Any, Callable, Sequence, TypeVar
 from repro.acoustics.environment import Environment
 from repro.core.config import ProtocolConfig
 from repro.sim.geometry import Point, Room
+from repro.sim.pipeline import BatchedSessionRunner
 from repro.sim.world import AcousticWorld
 
 from repro.eval.engine.cache import MeasurementCache
@@ -69,28 +70,49 @@ def build_pair_world(
     return world
 
 
-def run_cell_spec(spec: TrialSpec) -> CellResult:
+def run_cell_spec(
+    spec: TrialSpec, batch_size: int | None = None
+) -> CellResult:
     """Execute one cell: ``spec.n_trials`` independent ranging rounds.
 
     Module-level (picklable) so pool workers can run it; each trial gets a
     fresh world derived deterministically from the spec content.
+
+    ``batch_size`` selects how many sessions share one stacked DSP pass
+    (``None`` = the pipeline's auto default, ``1`` = the per-session
+    staged path).  Every trial keeps its own ``derive_seed`` RNG stream,
+    so the outcomes are bit-identical for every batch size.
+
+    Worlds and sessions are built lazily as the runner consumes them, so
+    a cell's peak memory is O(batch_size) sessions — a trial's world and
+    its two capture buffers die with its batch, never pinned for the
+    whole cell.
     """
     cell = CellResult(environment=spec.env_name, distance_m=spec.distance_m)
-    for trial in range(spec.n_trials):
-        world = build_pair_world(
-            spec.environment,
-            spec.distance_m,
-            spec.trial_seed(trial),
-            config=spec.config,
-            room=spec.room,
-        )
-        providers: Sequence = ()
-        if spec.interference_factory is not None:
-            providers = spec.interference_factory(
-                world, world.rngs.generator("interference")
+
+    def sessions():
+        for trial in range(spec.n_trials):
+            world = build_pair_world(
+                spec.environment,
+                spec.distance_m,
+                spec.trial_seed(trial),
+                config=spec.config,
+                room=spec.room,
             )
-        session = world.ranging_session(AUTH, VOUCH, providers, engine=spec.engine)
-        outcome = session.run()
+            providers: Sequence = ()
+            if spec.interference_factory is not None:
+                providers = spec.interference_factory(
+                    world, world.rngs.generator("interference")
+                )
+            yield world.ranging_session(
+                AUTH, VOUCH, providers, engine=spec.engine
+            )
+
+    if batch_size == 1:
+        outcomes = [session.run() for session in sessions()]
+    else:
+        outcomes = BatchedSessionRunner(batch_size).run(sessions())
+    for outcome in outcomes:
         cell.outcomes.append(outcome)
         if outcome.ok:
             cell.stats.add(outcome.require_distance() - spec.distance_m)
@@ -99,9 +121,11 @@ def run_cell_spec(spec: TrialSpec) -> CellResult:
     return cell
 
 
-def _run_spec_chunk(specs: list[TrialSpec]) -> list[CellResult]:
+def _run_spec_chunk(
+    specs: list[TrialSpec], batch_size: int | None = None
+) -> list[CellResult]:
     """Worker entry point: one pickled batch of cells per dispatch."""
-    return [run_cell_spec(spec) for spec in specs]
+    return [run_cell_spec(spec, batch_size) for spec in specs]
 
 
 def _run_task_chunk(
@@ -161,6 +185,13 @@ class TrialEngine:
         Optional callback receiving human-readable progress lines.
     chunk_size:
         Cells per pool dispatch; ``None`` auto-sizes for load balance.
+    batch_size:
+        Sessions per stacked DSP pass inside each cell (the CLI's
+        ``--batch``).  ``None`` = the pipeline's auto default; ``1``
+        forces the per-session staged path.  Results are bit-identical
+        for every value — the knob trades memory for FFT-batch size, and
+        the win multiplies with ``jobs`` since every worker batches its
+        own chunk.
     """
 
     def __init__(
@@ -169,16 +200,20 @@ class TrialEngine:
         cache: MeasurementCache | None = None,
         progress: Callable[[str], None] | None = None,
         chunk_size: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         resolved = os.cpu_count() or 1 if jobs is None else jobs
         if resolved < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
         self.jobs = resolved
         self.cache = cache if cache is not None else MeasurementCache()
         self.progress = progress
         self.chunk_size = chunk_size
+        self.batch_size = batch_size
         self.counters = EngineCounters()
         self._pool: ProcessPoolExecutor | None = None
 
@@ -281,7 +316,7 @@ class TrialEngine:
             self.counters.trials_cached += spec.n_trials
             return value
         start = perf_counter()
-        cell = run_cell_spec(spec)
+        cell = run_cell_spec(spec, self.batch_size)
         self.cache.put(key, cell)
         self.counters.cells_executed += 1
         self.counters.trials_executed += spec.n_trials
@@ -292,7 +327,7 @@ class TrialEngine:
         self, specs: list[TrialSpec], label: str
     ) -> list[CellResult]:
         if self.jobs == 1 or len(specs) == 1:
-            return [run_cell_spec(spec) for spec in specs]
+            return [run_cell_spec(spec, self.batch_size) for spec in specs]
         chunks = self._chunk(specs)
         parts = self._dispatch(chunks, label, len(specs))
         return [cell for part in parts for cell in part]
@@ -373,7 +408,7 @@ class TrialEngine:
             }
         else:
             futures = {
-                pool.submit(_run_spec_chunk, chunk): position
+                pool.submit(_run_spec_chunk, chunk, self.batch_size): position
                 for position, chunk in enumerate(chunks)
             }
         parts: list[list[Any] | None] = [None] * len(chunks)

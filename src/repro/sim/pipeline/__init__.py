@@ -1,0 +1,59 @@
+"""Staged ranging pipeline with cross-session batched execution.
+
+Three modules (see ``docs/pipeline.md``):
+
+* **stages** — the five typed, pure stages of one ACTION round
+  (``negotiate`` → ``schedule`` → ``render`` → ``detect`` →
+  ``exchange_and_decide``) plus :func:`run_staged`, the serial chain that
+  :class:`repro.sim.session.RangingSession` wraps;
+* **batch** — :class:`BatchedSessionRunner`, which executes the
+  negotiate/schedule/render stages per trial (preserving each trial's RNG
+  stream) and then runs detection as stacked FFT passes spanning every
+  recording of the batch;
+* **reference** — the pre-refactor monolithic loop, kept as the
+  executable specification the equivalence tests and benchmarks compare
+  against.
+"""
+
+from repro.sim.pipeline.batch import DEFAULT_BATCH_SIZE, BatchedSessionRunner
+from repro.sim.pipeline.reference import run_monolithic
+from repro.sim.pipeline.stages import (
+    DetectionPair,
+    InterferenceProvider,
+    NegotiationResult,
+    RenderedRecordings,
+    SchedulePlan,
+    SessionArtifacts,
+    SessionContext,
+    SessionTiming,
+    detect,
+    exchange_and_decide,
+    negotiate,
+    radiated_reference_waveform,
+    render,
+    run_staged,
+    schedule,
+    session_cost,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchedSessionRunner",
+    "DetectionPair",
+    "InterferenceProvider",
+    "NegotiationResult",
+    "RenderedRecordings",
+    "SchedulePlan",
+    "SessionArtifacts",
+    "SessionContext",
+    "SessionTiming",
+    "detect",
+    "exchange_and_decide",
+    "negotiate",
+    "radiated_reference_waveform",
+    "render",
+    "run_monolithic",
+    "run_staged",
+    "schedule",
+    "session_cost",
+]

@@ -1,0 +1,218 @@
+"""Cross-session batched execution of the staged pipeline.
+
+:class:`BatchedSessionRunner` consumes B independent sessions and runs
+them stage by stage instead of session by session:
+
+1. ``negotiate`` + ``schedule`` + ``render`` execute per session, each on
+   its own RNG stream — these stages *are* the stream consumers, so their
+   per-trial draw order is untouched (see ``docs/pipeline.md``);
+2. ``detect`` executes as one stacked pass: the 2·B capture buffers of the
+   batch go through a single coarse ``candidate_powers_stacked`` FFT batch
+   and one more stacked call for all fine passes
+   (:meth:`repro.core.action.ActionRanging.observe_batch`), instead of
+   2·B coarse + 4·B fine FFT dispatches and 4·B Python-level scans;
+3. ``exchange_and_decide`` executes per session, again on the session RNG.
+
+Detection is a pure function of the recordings and the FFT/power
+arithmetic is row-wise independent, so batched outcomes are bit-identical
+to the serial staged path — the equivalence tests assert this against
+:func:`repro.sim.pipeline.reference.run_monolithic` as well.
+
+Sessions whose ranging engine is not the stock
+:class:`~repro.core.action.ActionRanging` (e.g. the ACTION-CC ablation)
+fall back to the per-session ``detect`` stage; everything else about the
+batch still applies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.action import ActionRanging
+from repro.core.ranging import RangingOutcome
+from repro.sim.pipeline.stages import (
+    DetectionPair,
+    NegotiationResult,
+    RenderedRecordings,
+    SessionArtifacts,
+    SessionContext,
+    detect,
+    exchange_and_decide,
+    negotiate,
+    record_schedule_artifacts,
+    render,
+    schedule,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.session import RangingSession
+
+__all__ = ["BatchedSessionRunner", "DEFAULT_BATCH_SIZE"]
+
+#: Auto batch size: large enough that the stacked coarse pass covers a few
+#: thousand windows (amortizing each FFT dispatch), small enough that the
+#: transient window/spectrum buffers stay well under
+#: :attr:`~repro.core.detection.FrequencyDetector.MAX_FFT_WINDOWS` chunks.
+DEFAULT_BATCH_SIZE = 16
+
+
+class SessionLike(Protocol):
+    """What the runner needs from a session (satisfied by RangingSession)."""
+
+    context: SessionContext
+    rng: np.random.Generator
+    artifacts: SessionArtifacts
+
+
+@dataclass
+class _PreparedSession:
+    """One session that survived negotiate/schedule/render."""
+
+    index: int
+    session: SessionLike
+    negotiation: NegotiationResult
+    recordings: RenderedRecordings
+
+
+class BatchedSessionRunner:
+    """Runs independent sessions through the pipeline in stacked batches.
+
+    Parameters
+    ----------
+    batch_size:
+        Sessions per stacked detection pass; ``None`` selects
+        :data:`DEFAULT_BATCH_SIZE`.  ``1`` degenerates to the serial
+        staged path (useful for equivalence tests); results are identical
+        for every value.
+    """
+
+    def __init__(self, batch_size: int | None = None) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+        self.batch_size = batch_size or DEFAULT_BATCH_SIZE
+
+    def run(
+        self, sessions: Iterable["RangingSession"] | Iterable[SessionLike]
+    ) -> list[RangingOutcome]:
+        """Execute every session; outcomes come back in input order.
+
+        ``sessions`` may be a lazy iterable: it is consumed one batch at
+        a time, and nothing from a finished batch is retained here — so a
+        generator-fed run keeps peak memory at O(batch_size) sessions
+        (the caller decides how long its own session objects live).
+        """
+        outcomes: list[RangingOutcome] = []
+        iterator = iter(sessions)
+        while True:
+            batch = list(itertools.islice(iterator, self.batch_size))
+            if not batch:
+                return outcomes
+            outcomes.extend(self._run_batch(batch))
+
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, sessions: Sequence[SessionLike]) -> list[RangingOutcome]:
+        outcomes: list[RangingOutcome | None] = [None] * len(sessions)
+        prepared: list[_PreparedSession] = []
+        for index, session in enumerate(sessions):
+            ctx, rng, artifacts = session.context, session.rng, session.artifacts
+            negotiation = negotiate(ctx, rng)
+            if artifacts is not None:
+                artifacts.signals = negotiation.signals
+            if negotiation.failure is not None:
+                outcomes[index] = negotiation.failure
+                continue
+            plan = schedule(ctx, negotiation, rng)
+            if artifacts is not None:
+                record_schedule_artifacts(artifacts, plan)
+            recordings = render(ctx, plan, rng)
+            if artifacts is not None:
+                artifacts.recording_auth = recordings.auth
+                artifacts.recording_vouch = recordings.vouch
+            prepared.append(
+                _PreparedSession(index, session, negotiation, recordings)
+            )
+
+        for item, detections in zip(prepared, self._detect_all(prepared)):
+            outcomes[item.index] = exchange_and_decide(
+                item.session.context,
+                item.negotiation,
+                detections,
+                item.session.rng,
+                item.session.artifacts,
+            )
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stackable(item: _PreparedSession) -> bool:
+        """Whether this session's detection can join a stacked pass.
+
+        Strict type check: a subclass could override ``observe`` with
+        instance state the stacked pass would not see.  ACTION behaviour
+        depends only on the (hashable) protocol config, which is part of
+        the stacking group key.
+        """
+        return type(item.session.context.action) is ActionRanging
+
+    def _detect_all(
+        self, prepared: Sequence[_PreparedSession]
+    ) -> list[DetectionPair]:
+        """Step IV for every prepared session, stacked where possible."""
+        results: dict[int, DetectionPair] = {}
+        groups: dict[tuple, list[_PreparedSession]] = {}
+        for item in prepared:
+            if self._stackable(item):
+                key = (
+                    item.session.context.config,
+                    item.recordings.auth.shape[0],
+                    item.recordings.vouch.shape[0],
+                )
+                groups.setdefault(key, []).append(item)
+            else:
+                results[item.index] = detect(
+                    item.session.context, item.negotiation, item.recordings
+                )
+
+        for members in groups.values():
+            self._detect_group(members, results)
+        return [results[item.index] for item in prepared]
+
+    @staticmethod
+    def _detect_group(
+        members: Iterable[_PreparedSession],
+        results: dict[int, DetectionPair],
+    ) -> None:
+        """One stacked observe pass over a group's 2·B recordings."""
+        members = list(members)
+        action = members[0].session.context.action
+        assert isinstance(action, ActionRanging)
+        recordings = np.stack(
+            [
+                recording
+                for item in members
+                for recording in (item.recordings.auth, item.recordings.vouch)
+            ]
+        )
+        scans = []
+        for item in members:
+            ctx = item.session.context
+            signals = item.negotiation.signals
+            scans.append(
+                (signals.auth, signals.vouch, ctx.auth_device.sample_rate)
+            )
+            scans.append(
+                (signals.vouch, signals.auth, ctx.vouch_device.sample_rate)
+            )
+        observations = action.observe_batch(recordings, scans)
+        for position, item in enumerate(members):
+            results[item.index] = DetectionPair(
+                auth=observations[2 * position],
+                vouch=observations[2 * position + 1],
+            )

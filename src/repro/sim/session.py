@@ -12,34 +12,39 @@ The session drives the six protocol steps end to end with realistic timing:
 * Step V   — the vouching device reports its local time difference;
 * Step VI  — the authenticating device evaluates Eq. 3.
 
-All acoustic events (including attacker/interferer playbacks supplied by
-providers) are sequenced through the deterministic event scheduler, then the
-mixer renders each microphone's buffer.
+Since the staged-pipeline refactor the actual work lives in
+:mod:`repro.sim.pipeline`: each step above is a typed, pure stage
+(``negotiate`` → ``schedule`` → ``render`` → ``detect`` →
+``exchange_and_decide``) over frozen dataclasses, and
+:class:`RangingSession` is the thin compatibility wrapper that bundles a
+:class:`~repro.sim.pipeline.SessionContext` with its per-session RNG
+stream and chains the stages.  The historical import surface
+(``SessionTiming``, ``SessionArtifacts``, ``InterferenceProvider``,
+``radiated_reference_waveform``) re-exports from the pipeline package.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.acoustics.environment import Environment
-from repro.acoustics.mixer import AcousticMixer, PlaybackEvent, RecordingRequest
 from repro.acoustics.propagation import PropagationModel
 from repro.comms.bluetooth import BluetoothLink
-from repro.comms.messages import RangingInit, VouchReport
-from repro.core.action import ActionRanging, SignalPair
 from repro.core.config import ProtocolConfig
-from repro.core.exceptions import PairingError
-from repro.core.ranging import RangingOutcome, RangingStatus
-from repro.core.signal_construction import ReferenceSignal
-from repro.devices.battery import ComponentPower, PhaseDurations
+from repro.core.ranging import RangingEngine, RangingOutcome
+from repro.devices.battery import ComponentPower
 from repro.devices.device import Device
-from repro.dsp.quantize import quantize_pcm16
-from repro.dsp.sine import synthesize_tone_sum
-from repro.sim.events import EventScheduler
 from repro.sim.geometry import Room
+from repro.sim.pipeline.stages import (
+    InterferenceProvider,
+    SessionArtifacts,
+    SessionContext,
+    SessionTiming,
+    radiated_reference_waveform,
+    run_staged,
+)
 
 __all__ = [
     "SessionTiming",
@@ -49,84 +54,21 @@ __all__ = [
     "radiated_reference_waveform",
 ]
 
-#: An interference provider receives the acoustic window of the session
-#: (world start/end of the recordings) and an RNG, and returns extra
-#: playbacks — concurrent PIANO users (Fig. 2a) or attackers (§V/§VI-E).
-InterferenceProvider = Callable[
-    [float, float, np.random.Generator], list[PlaybackEvent]
-]
-
-
-@dataclass(frozen=True)
-class SessionTiming:
-    """Timing constants of one ranging round.
-
-    The defaults keep both reference signals well inside both recordings
-    under worst-case audio-path latency, and separate the two playbacks by
-    far more than a signal length so they cannot overlap (a window holding
-    both signals would fail Algorithm 2's β check — §VI-B2 observes this
-    with concurrent users).
-    """
-
-    record_span_s: float = 1.6
-    auth_play_offset_s: float = 0.18
-    vouch_play_offset_s: float = 0.65
-    cpu_per_window_s: float = 0.9e-3
-    cpu_fixed_s: float = 0.35
-    bluetooth_active_s: float = 0.25
-
-    def __post_init__(self) -> None:
-        if self.record_span_s <= 0:
-            raise ValueError("record_span_s must be positive")
-        if not 0 <= self.auth_play_offset_s < self.record_span_s:
-            raise ValueError("auth_play_offset_s outside the recording span")
-        if not 0 <= self.vouch_play_offset_s < self.record_span_s:
-            raise ValueError("vouch_play_offset_s outside the recording span")
-
-
-@dataclass
-class SessionArtifacts:
-    """Everything a session produced, for diagnostics and tests."""
-
-    signals: SignalPair | None = None
-    recording_auth: np.ndarray | None = None
-    recording_vouch: np.ndarray | None = None
-    playbacks: list[PlaybackEvent] = field(default_factory=list)
-    auth_record_start_world: float = 0.0
-    vouch_record_start_world: float = 0.0
-    auth_play_world: float = 0.0
-    vouch_play_world: float = 0.0
-    report: VouchReport | None = None
-
-
-def radiated_reference_waveform(
-    device: Device, reference: ReferenceSignal
-) -> np.ndarray:
-    """Synthesize the waveform ``device`` radiates for ``reference``.
-
-    Applies the device's per-tone response ripple (if any), the speaker
-    gain/clipping, and 16-bit quantization — i.e., the physical output of
-    the playback API.
-    """
-    config = reference.config
-    amplitudes = np.full(reference.n_tones, config.reference_peak / reference.n_tones)
-    if device.ripple is not None:
-        amplitudes = amplitudes * device.ripple.gains[reference.candidate_indices]
-    waveform = synthesize_tone_sum(
-        frequencies=reference.frequencies(),
-        amplitudes=amplitudes,
-        n_samples=config.signal_length,
-        sample_rate=config.sample_rate,
-    )
-    return quantize_pcm16(device.speaker.radiate(waveform))
-
 
 class RangingSession:
-    """Executes one ACTION round between two paired devices."""
+    """Executes one ACTION round between two paired devices.
+
+    A session is the pairing of an immutable
+    :class:`~repro.sim.pipeline.SessionContext` with the per-session RNG
+    stream; :meth:`run` chains the pipeline stages serially.  Batch
+    execution hands the same (context, rng) pairs to a
+    :class:`~repro.sim.pipeline.BatchedSessionRunner` instead — the
+    outcomes are bit-identical either way.
+    """
 
     def __init__(
         self,
-        action: ActionRanging,
+        action: RangingEngine,
         link: BluetoothLink,
         auth_device: Device,
         vouch_device: Device,
@@ -139,202 +81,83 @@ class RangingSession:
         interference: Sequence[InterferenceProvider] = (),
         component_power: ComponentPower | None = None,
     ) -> None:
-        self.action = action
-        self.link = link
-        self.auth_device = auth_device
-        self.vouch_device = vouch_device
-        self.environment = environment
-        self.room = room
-        self.propagation = propagation
+        self.context = SessionContext(
+            action=action,
+            link=link,
+            auth_device=auth_device,
+            vouch_device=vouch_device,
+            environment=environment,
+            room=room,
+            propagation=propagation,
+            timing=timing or SessionTiming(),
+            session_id=session_id,
+            interference=tuple(interference),
+            component_power=component_power or ComponentPower(),
+        )
         self.rng = rng
-        self.timing = timing or SessionTiming()
-        self.session_id = session_id
-        self.interference = list(interference)
-        self.component_power = component_power or ComponentPower()
         self.artifacts = SessionArtifacts()
+
+    # ------------------------------------------------------------------
+    # Compatibility surface: the pre-pipeline attribute names.
+    # ------------------------------------------------------------------
+
+    @property
+    def action(self) -> RangingEngine:
+        return self.context.action
+
+    @property
+    def link(self) -> BluetoothLink:
+        return self.context.link
+
+    @property
+    def auth_device(self) -> Device:
+        return self.context.auth_device
+
+    @property
+    def vouch_device(self) -> Device:
+        return self.context.vouch_device
+
+    @property
+    def environment(self) -> Environment:
+        return self.context.environment
+
+    @property
+    def room(self) -> Room:
+        return self.context.room
+
+    @property
+    def propagation(self) -> PropagationModel:
+        return self.context.propagation
+
+    @property
+    def timing(self) -> SessionTiming:
+        return self.context.timing
+
+    @property
+    def session_id(self) -> int:
+        return self.context.session_id
+
+    @property
+    def interference(self) -> tuple[InterferenceProvider, ...]:
+        """The session's interference providers (immutable).
+
+        Returned as the context's tuple so a stale mutation pattern
+        (``session.interference.append(...)``) fails loudly instead of
+        silently editing a throwaway copy — providers are fixed at
+        construction time now that the context is frozen.
+        """
+        return self.context.interference
+
+    @property
+    def component_power(self) -> ComponentPower:
+        return self.context.component_power
 
     @property
     def config(self) -> ProtocolConfig:
-        return self.action.config
+        return self.context.config
 
     # ------------------------------------------------------------------
 
     def run(self) -> RangingOutcome:
         """Execute the full round and return the Step-VI outcome."""
-        timing = self.timing
-        scheduler = EventScheduler()
-        artifacts = self.artifacts
-
-        # Step I: the authenticating device constructs both signals.
-        signals = self.action.construct_signals(self.rng)
-        artifacts.signals = signals
-
-        # Step II: ship the signal descriptions over Bluetooth.  The
-        # transfer round-trips through the secure channel (encrypt, record
-        # in the eavesdropper transcript, authenticate, decrypt).
-        init = RangingInit(
-            session_id=self.session_id,
-            signal_auth_indices=tuple(int(i) for i in signals.auth.candidate_indices),
-            signal_vouch_indices=tuple(int(i) for i in signals.vouch.candidate_indices),
-            record_span_s=timing.record_span_s,
-            vouch_play_offset_s=timing.vouch_play_offset_s,
-        )
-        try:
-            _, init_latency = self.link.transfer(init, self.rng)
-        except PairingError:
-            return RangingOutcome(status=RangingStatus.BLUETOOTH_UNAVAILABLE)
-
-        # Step III: recording and playback schedules.
-        auth_rec_latency = self.auth_device.os_audio.draw_record_latency(self.rng)
-        vouch_rec_latency = self.vouch_device.os_audio.draw_record_latency(self.rng)
-        auth_rec_start = scheduler.now + auth_rec_latency
-        vouch_rec_start = scheduler.now + init_latency + vouch_rec_latency
-
-        auth_play_latency = self.auth_device.os_audio.draw_playback_latency(self.rng)
-        vouch_play_latency = self.vouch_device.os_audio.draw_playback_latency(self.rng)
-        auth_play_world = (
-            auth_rec_start + timing.auth_play_offset_s + auth_play_latency
-        )
-        vouch_play_world = (
-            vouch_rec_start + timing.vouch_play_offset_s + vouch_play_latency
-        )
-
-        playbacks: list[PlaybackEvent] = []
-
-        def emit_auth() -> None:
-            playbacks.append(
-                PlaybackEvent(
-                    device=self.auth_device,
-                    waveform=radiated_reference_waveform(
-                        self.auth_device, signals.auth
-                    ),
-                    world_start=auth_play_world,
-                    label="S_A",
-                )
-            )
-
-        def emit_vouch() -> None:
-            playbacks.append(
-                PlaybackEvent(
-                    device=self.vouch_device,
-                    waveform=radiated_reference_waveform(
-                        self.vouch_device, signals.vouch
-                    ),
-                    world_start=vouch_play_world,
-                    label="S_V",
-                )
-            )
-
-        scheduler.schedule_at(auth_play_world, emit_auth, label="play S_A")
-        scheduler.schedule_at(vouch_play_world, emit_vouch, label="play S_V")
-
-        window_start = min(auth_rec_start, vouch_rec_start)
-        window_end = (
-            max(auth_rec_start, vouch_rec_start) + timing.record_span_s
-        )
-        for provider in self.interference:
-            for event in provider(window_start, window_end, self.rng):
-                scheduler.schedule_at(
-                    max(event.world_start, scheduler.now),
-                    lambda e=event: playbacks.append(e),
-                    label=f"interference {event.label}",
-                )
-
-        scheduler.run(until=window_end)
-
-        artifacts.playbacks = playbacks
-        artifacts.auth_record_start_world = auth_rec_start
-        artifacts.vouch_record_start_world = vouch_rec_start
-        artifacts.auth_play_world = auth_play_world
-        artifacts.vouch_play_world = vouch_play_world
-
-        # Render both microphones.
-        mixer = AcousticMixer(
-            environment=self.environment,
-            room=self.room,
-            propagation=self.propagation,
-            rng=self.rng,
-        )
-        n_samples = int(round(timing.record_span_s * self.config.sample_rate))
-        recording_auth = mixer.render(
-            RecordingRequest(self.auth_device, auth_rec_start, n_samples), playbacks
-        )
-        recording_vouch = mixer.render(
-            RecordingRequest(self.vouch_device, vouch_rec_start, n_samples), playbacks
-        )
-        artifacts.recording_auth = recording_auth
-        artifacts.recording_vouch = recording_vouch
-
-        # Step IV: both devices detect.
-        auth_obs = self.action.observe(
-            recording_auth,
-            own=signals.auth,
-            remote=signals.vouch,
-            sample_rate=self.auth_device.sample_rate,
-        )
-        vouch_obs = self.action.observe(
-            recording_vouch,
-            own=signals.vouch,
-            remote=signals.auth,
-            sample_rate=self.vouch_device.sample_rate,
-        )
-
-        # Step V: the vouching device reports its local delta.
-        report = VouchReport(
-            session_id=self.session_id,
-            ok=vouch_obs.complete,
-            delta_seconds=(
-                vouch_obs.local_delta_seconds if vouch_obs.complete else 0.0
-            ),
-        )
-        try:
-            delivered, report_latency = self.link.transfer(report, self.rng)
-        except PairingError:
-            return RangingOutcome(status=RangingStatus.BLUETOOTH_UNAVAILABLE)
-        assert isinstance(delivered, VouchReport)
-        artifacts.report = delivered
-
-        # Step VI: Eq. 3 on the authenticating device.
-        outcome = self.action.finalize(
-            auth_obs, delivered.ok, delivered.delta_seconds
-        )
-
-        elapsed, energy = self._cost_model(
-            auth_obs, init_latency + report_latency
-        )
-        self.auth_device.battery.drain(energy)
-        return RangingOutcome(
-            status=outcome.status,
-            distance_m=outcome.distance_m,
-            auth_observation=auth_obs,
-            vouch_observation=vouch_obs,
-            elapsed_s=elapsed,
-            energy_j=energy,
-        )
-
-    # ------------------------------------------------------------------
-
-    def _cost_model(self, auth_obs, bluetooth_latency_s: float) -> tuple[float, float]:
-        """Modeled wall-clock and energy cost of this round (§VI-D).
-
-        CPU time scales with the number of windows the detector visited,
-        at a phone-class per-window cost; the recording span dominates the
-        latency, matching the prototype's ≈ 3 s.
-        """
-        timing = self.timing
-        windows = auth_obs.own.windows_scanned + auth_obs.remote.windows_scanned
-        cpu_s = timing.cpu_fixed_s + timing.cpu_per_window_s * windows
-        elapsed = (
-            bluetooth_latency_s
-            + timing.vouch_play_offset_s
-            + timing.record_span_s
-            + cpu_s
-        )
-        phases = PhaseDurations(
-            speaker_s=self.config.signal_duration,
-            microphone_s=timing.record_span_s,
-            cpu_s=cpu_s,
-            bluetooth_s=timing.bluetooth_active_s,
-            total_s=elapsed,
-        )
-        return elapsed, phases.energy_joules(self.component_power)
+        return run_staged(self.context, self.rng, self.artifacts)

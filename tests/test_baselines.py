@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.acoustics.environment import get_environment
 from repro.baselines.ambient import AmbienceAuthenticator, ambient_similarity
 from repro.baselines.cc_detector import ActionCCRanging, CrossCorrelationDetector
 from repro.baselines.echo import EchoSecureProtocol

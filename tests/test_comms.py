@@ -1,6 +1,5 @@
 """Tests for messages, the secure channel, and the Bluetooth model."""
 
-import numpy as np
 import pytest
 
 from repro.comms.bluetooth import BluetoothLink, pair_devices

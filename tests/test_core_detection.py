@@ -109,7 +109,6 @@ def test_recording_shorter_than_window_yields_not_present(detector, config):
 
 
 def test_hypothesis_requires_proper_subset(config):
-    plan = build_frequency_plan(config)
     with pytest.raises(ValueError):
         SignalHypothesis(
             member_mask=np.ones(30, dtype=bool),

@@ -1,7 +1,5 @@
 """Tests for the evaluation framework (stats, FRR/FAR model, reporting)."""
 
-import math
-
 import numpy as np
 import pytest
 

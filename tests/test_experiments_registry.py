@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.eval.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.eval.registry import list_experiments, run_experiment
 
 
 def test_registry_covers_every_paper_artifact():

@@ -1,6 +1,5 @@
 """End-to-end scenario tests mirroring the paper's narrative claims."""
 
-import pytest
 
 from repro import AcousticWorld, AuthConfig, DenyReason, Point, Room
 from tests.conftest import make_pair_world

@@ -1,6 +1,5 @@
 """Integration tests for RangingSession and AcousticWorld."""
 
-import numpy as np
 import pytest
 
 from repro import (
