@@ -12,10 +12,14 @@ environments × four distances) for
 * ``batched_N`` — :class:`BatchedSessionRunner` at batch sizes 1/8/16/32
   (current ``--batch N``).
 
-All variants produce bit-identical outcomes (asserted here as well); only
-the wall clock may differ.  Run as a script to (re)generate
-``BENCH_pipeline.json`` at the repository root so the perf trajectory of
-the hot path is tracked in-tree::
+All variants under the default DSP backend produce bit-identical outcomes
+(asserted here as well); only the wall clock may differ.  The document
+additionally records a per-stage wall-clock split of the ``batched_16``
+run (RNG-bound prepare, stacked render, stacked detect, decide) and a
+per-DSP-backend ``batched_16`` row for every backend importable on the
+host, with its bit-compatibility probe result.  Run as a script to
+(re)generate ``BENCH_pipeline.json`` at the repository root so the perf
+trajectory of the hot path is tracked in-tree::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--trials N] [--reps R]
 
@@ -33,6 +37,13 @@ from time import perf_counter
 
 from repro.acoustics.environment import FIGURE1_ENVIRONMENTS
 from repro.core.detection import FrequencyDetector
+from repro.dsp.backend import (
+    NumpyBackend,
+    available_backends,
+    create_backend,
+    probe_bit_compatible,
+    use_backend,
+)
 from repro.eval.engine import AUTH, VOUCH, TrialSpec, build_pair_world
 from repro.sim.pipeline import BatchedSessionRunner, run_monolithic
 
@@ -91,31 +102,83 @@ def _pre_refactor_executor(sessions):
     return [run_monolithic(s.context, s.rng, s.artifacts) for s in sessions]
 
 
+def _measure_backends(specs, staged, reps: int, numpy_row: dict) -> dict:
+    """``batched_16`` throughput per importable DSP backend.
+
+    The numpy row reuses the main benchmark's ``batched_16`` measurement
+    (the main runs are pinned to the numpy reference backend); other
+    rows note their bit-compatibility probe result and — when the probe
+    holds on this host — assert outcome equality against the staged run.
+    """
+    rows = {"numpy": dict(numpy_row, bit_compatible_on_host=True)}
+    for name in available_backends():
+        if name == NumpyBackend.name:
+            continue
+        backend = create_backend(name)
+        compatible = probe_bit_compatible(backend)
+        with use_backend(backend):
+            runner = BatchedSessionRunner(16)
+            measurement, outcomes = _measure(specs, runner.run, reps)
+        if compatible:
+            assert outcomes == staged, (
+                f"backend {name} probed bit-compatible but outcomes diverged"
+            )
+        measurement["bit_compatible_on_host"] = compatible
+        rows[name] = measurement
+    return rows
+
+
+def _measure_stages(specs) -> dict:
+    """Per-stage wall-clock split of one ``batched_16`` pass."""
+    timings: dict[str, float] = {}
+    runner = BatchedSessionRunner(16, stage_timings=timings)
+    _run_plan(specs, runner.run)
+    total = sum(timings.values())
+    return {
+        "seconds": {k: round(v, 4) for k, v in timings.items()},
+        "fraction": {
+            k: round(v / total, 3) for k, v in timings.items()
+        }
+        if total
+        else {},
+    }
+
+
 def run_benchmark(trials: int = 2, reps: int = 2) -> dict:
-    """Measure every variant; returns the JSON-ready result document."""
+    """Measure every variant; returns the JSON-ready result document.
+
+    The main variant runs are pinned to the numpy reference backend so
+    the document's headline rows never depend on the host's
+    auto-selection outcome; the per-backend section then covers the
+    alternates.
+    """
     specs = _fig1_specs(trials)
     results = {}
 
-    original = FrequencyDetector.candidate_powers
-    FrequencyDetector.candidate_powers = (
-        FrequencyDetector.candidate_powers_reference
-    )
-    try:
-        results["pre_refactor_per_session"], baseline = _measure(
-            specs, _pre_refactor_executor, reps
+    with use_backend("numpy"):
+        original = FrequencyDetector.candidate_powers
+        FrequencyDetector.candidate_powers = (
+            FrequencyDetector.candidate_powers_reference
         )
-    finally:
-        FrequencyDetector.candidate_powers = original
+        try:
+            results["pre_refactor_per_session"], baseline = _measure(
+                specs, _pre_refactor_executor, reps
+            )
+        finally:
+            FrequencyDetector.candidate_powers = original
 
-    results["staged_per_session"], staged = _measure(
-        specs, lambda sessions: [s.run() for s in sessions], reps
-    )
-    for batch in BATCH_SIZES:
-        runner = BatchedSessionRunner(batch)
-        results[f"batched_{batch}"], outcomes = _measure(specs, runner.run, reps)
-        assert outcomes == staged, (
-            f"batched_{batch} outcomes diverged from the staged path"
+        results["staged_per_session"], staged = _measure(
+            specs, lambda sessions: [s.run() for s in sessions], reps
         )
+        for batch in BATCH_SIZES:
+            runner = BatchedSessionRunner(batch)
+            results[f"batched_{batch}"], outcomes = _measure(
+                specs, runner.run, reps
+            )
+            assert outcomes == staged, (
+                f"batched_{batch} outcomes diverged from the staged path"
+            )
+        stages = _measure_stages(specs)
 
     def _rate(name):
         return results[name]["trials_per_s"]
@@ -134,6 +197,10 @@ def run_benchmark(trials: int = 2, reps: int = 2) -> dict:
             "python": platform.python_version(),
         },
         "results": results,
+        "stages_batched_16": stages,
+        "backends_batched_16": _measure_backends(
+            specs, staged, reps, results["batched_16"]
+        ),
         "speedups": {
             "staged_vs_pre_refactor": round(
                 _rate("staged_per_session") / _rate("pre_refactor_per_session"), 2
@@ -146,9 +213,12 @@ def run_benchmark(trials: int = 2, reps: int = 2) -> dict:
             ),
         },
         "notes": (
-            "single-process; outcomes bit-identical across all variants; "
-            "pre_refactor_per_session swaps candidate_powers for the "
-            "preserved reference implementation"
+            "single-process; outcomes bit-identical across all variants "
+            "under the default DSP backend; pre_refactor_per_session swaps "
+            "candidate_powers for the preserved reference implementation; "
+            "stage split: prepare = RNG-bound negotiate/schedule/"
+            "render_noise, render = stacked arrival phase, detect = "
+            "stacked window batches"
         ),
     }
 

@@ -15,6 +15,29 @@ for how many samples), the mixer assembles the device's capture buffer:
 Sample placement is rounded to the sink's sample grid; one sample at
 44.1 kHz is 7.8 mm of acoustic travel, an order of magnitude below the
 paper's reported errors (DESIGN.md §3).
+
+Two-phase rendering
+-------------------
+A capture renders in two phases with a data boundary between them:
+
+* :meth:`AcousticMixer.plan_capture` — the **RNG phase**: noise synthesis,
+  microphone self-noise, and lazy channel-filter draws, consuming the
+  session RNG in exactly the order the one-shot ``render`` loop always
+  drew (noise → self-noise → per-playback channel draws, skipping pairs
+  whose end-to-end amplitude is negligible);
+* :func:`render_capture_jobs` — the **arrival phase**: pure deterministic
+  math (convolve × amplitude → clock-skew warp → placement → quantize)
+  over the planned arrivals, routed through the active
+  :mod:`repro.dsp.backend` kernels.
+
+Because the arrival phase is RNG-free and per-arrival independent, the
+batched pipeline hands the capture jobs of *all* sessions of a batch to
+one :func:`render_capture_jobs` call, which stacks equal-shape
+(waveform, taps) pairs into batched convolutions.  ``render`` itself is
+the two phases composed for a single capture — so the serial, staged, and
+batched paths run the very same kernel calls per arrival and produce
+bit-identical buffers by construction (accumulation into the capture
+buffer always happens in playback order, per capture).
 """
 
 from __future__ import annotations
@@ -24,13 +47,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.acoustics.environment import Environment
+from repro.acoustics.noise import NoiseDraw
 from repro.acoustics.propagation import PropagationModel
 from repro.devices.device import Device
+from repro.dsp.backend import get_backend
 from repro.dsp.quantize import quantize_pcm16
 from repro.dsp.resample import apply_clock_skew
 from repro.sim.geometry import Room
 
-__all__ = ["PlaybackEvent", "RecordingRequest", "AcousticMixer"]
+__all__ = [
+    "PlaybackEvent",
+    "RecordingRequest",
+    "PlannedArrival",
+    "CaptureJob",
+    "AcousticMixer",
+    "render_capture_jobs",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +107,38 @@ class RecordingRequest:
     def __post_init__(self) -> None:
         if self.n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {self.n_samples}")
+
+
+@dataclass(frozen=True)
+class PlannedArrival:
+    """One playback's contribution to one capture, ready for DSP.
+
+    Everything random (the channel taps) is already realized; turning a
+    planned arrival into samples is pure arithmetic.
+    """
+
+    waveform: np.ndarray
+    taps: np.ndarray
+    amplitude: float
+    start_index: int
+    relative_ppm: float
+
+
+@dataclass
+class CaptureJob:
+    """RNG-phase output for one capture: raw noise draws + planned arrivals.
+
+    Everything random is already drawn (environment-noise buffers,
+    microphone self-noise, channel taps inside the arrivals); the noise
+    *shaping* — the Butterworth coloring of the white draw — is deferred
+    to the arrival phase so a batch can run it as one stacked filter pass
+    over every capture.
+    """
+
+    n_samples: int
+    noise: NoiseDraw
+    self_noise: np.ndarray
+    arrivals: list[PlannedArrival] = field(default_factory=list)
 
 
 @dataclass
@@ -131,18 +195,24 @@ class AcousticMixer:
             return source.speaker.self_gap_m
         return source.distance_to(sink)
 
-    def render(self, request: RecordingRequest, playbacks: list[PlaybackEvent]) -> np.ndarray:
-        """Render the capture buffer for ``request``.
+    def plan_capture(
+        self, request: RecordingRequest, playbacks: list[PlaybackEvent]
+    ) -> CaptureJob:
+        """The RNG phase: draw the noise bed and realize every channel.
 
-        Returns ``n_samples`` of quantized 16-bit-valued float samples in
-        the sink device's own clock/sample grid.
+        Consumes the mixer RNG in exactly the order the one-shot render
+        loop always drew: environment noise, microphone self-noise, then
+        one channel draw per *new* audible (source, sink) pair in playback
+        order — pairs whose end-to-end amplitude is negligible are skipped
+        before any draw, matching the historical control flow.
         """
         sink = request.device
-        buffer = self.environment.noise.sample(
+        noise = self.environment.noise.draw(
             request.n_samples, sink.sample_rate, self.rng
         )
-        buffer += sink.microphone.self_noise(request.n_samples, self.rng)
+        self_noise = sink.microphone.self_noise(request.n_samples, self.rng)
 
+        arrivals: list[PlannedArrival] = []
         for playback in playbacks:
             source = playback.device
             amplitude = self._pair_amplitude(source, sink)
@@ -153,14 +223,31 @@ class AcousticMixer:
             start_index = int(
                 round(sink.clock.sample_index(arrival_world, request.world_start))
             )
-            taps = self._channel_taps(source, sink)
-            received = np.convolve(playback.waveform, taps) * amplitude
-            relative_ppm = sink.clock.skew_ppm - source.clock.skew_ppm
-            if relative_ppm:
-                received = apply_clock_skew(received, relative_ppm)
-            self._add_at(buffer, received, start_index)
+            arrivals.append(
+                PlannedArrival(
+                    waveform=playback.waveform,
+                    taps=self._channel_taps(source, sink),
+                    amplitude=amplitude,
+                    start_index=start_index,
+                    relative_ppm=sink.clock.skew_ppm - source.clock.skew_ppm,
+                )
+            )
+        return CaptureJob(
+            n_samples=request.n_samples,
+            noise=noise,
+            self_noise=self_noise,
+            arrivals=arrivals,
+        )
 
-        return quantize_pcm16(buffer)
+    def render(self, request: RecordingRequest, playbacks: list[PlaybackEvent]) -> np.ndarray:
+        """Render the capture buffer for ``request``.
+
+        Returns ``n_samples`` of quantized 16-bit-valued float samples in
+        the sink device's own clock/sample grid.  Equivalent to the RNG
+        phase plus a one-job arrival phase — the same kernels the batched
+        pipeline runs, at B = 1.
+        """
+        return render_capture_jobs([self.plan_capture(request, playbacks)])[0]
 
     @staticmethod
     def _add_at(buffer: np.ndarray, signal: np.ndarray, start: int) -> None:
@@ -171,3 +258,107 @@ class AcousticMixer:
         if hi <= lo:
             return
         buffer[lo:hi] += signal[lo - start : hi - start]
+
+
+def _realized_arrival_signals(
+    jobs: list[CaptureJob],
+) -> dict[tuple[int, int], np.ndarray]:
+    """Convolved (pre-skew) arrival signals for every job, batched.
+
+    Equal-shape (waveform, taps) pairs across *all* jobs are stacked into
+    one batched-convolution kernel call; remaining singletons use the
+    scalar kernel.  Keyed by ``(job_index, arrival_index)``.  The default
+    backend's batched kernel is row-wise ``np.convolve``, so grouping is
+    purely a dispatch decision and never changes a value.
+    """
+    backend = get_backend()
+    groups: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for job_index, job in enumerate(jobs):
+        for arrival_index, arrival in enumerate(job.arrivals):
+            shape = (arrival.waveform.shape[0], arrival.taps.shape[0])
+            groups.setdefault(shape, []).append((job_index, arrival_index))
+
+    signals: dict[tuple[int, int], np.ndarray] = {}
+    for members in groups.values():
+        if len(members) == 1:
+            job_index, arrival_index = members[0]
+            arrival = jobs[job_index].arrivals[arrival_index]
+            signals[members[0]] = backend.convolve(
+                arrival.waveform, arrival.taps
+            )
+            continue
+        stacked_waveforms = np.stack(
+            [jobs[j].arrivals[a].waveform for j, a in members]
+        )
+        stacked_taps = np.stack([jobs[j].arrivals[a].taps for j, a in members])
+        convolved = backend.convolve_batch(stacked_waveforms, stacked_taps)
+        for row, key in enumerate(members):
+            signals[key] = convolved[row]
+    return signals
+
+
+def _shaped_noise_buffers(jobs: list[CaptureJob]) -> list[np.ndarray]:
+    """Noise beds for every job, with the coloring filter batched.
+
+    White draws that share a filter design and length are stacked into
+    one :meth:`~repro.dsp.backend.DSPBackend.sosfilt` call (the filter
+    state is per row, so a stacked pass filters each row exactly as a
+    solo pass would); singletons filter alone, which is literally the
+    historical call.  Scaling/mixing then runs per job in the historical
+    order (colored → broadband → self-noise).
+    """
+    backend = get_backend()
+    groups: dict[tuple, list[int]] = {}
+    for index, job in enumerate(jobs):
+        if job.noise.white is not None:
+            model = job.noise.model
+            key = (
+                model.filter_order,
+                model.low_freq_cutoff_hz,
+                job.noise.sample_rate,
+                job.noise.n_samples,
+            )
+            groups.setdefault(key, []).append(index)
+
+    colored: dict[int, np.ndarray] = {}
+    for members in groups.values():
+        sos = jobs[members[0]].noise.model.sos(jobs[members[0]].noise.sample_rate)
+        if len(members) == 1:
+            index = members[0]
+            colored[index] = backend.sosfilt(sos, jobs[index].noise.white)
+        else:
+            stacked = backend.sosfilt(
+                sos, np.stack([jobs[i].noise.white for i in members])
+            )
+            for row, index in enumerate(members):
+                colored[index] = stacked[row]
+
+    buffers: list[np.ndarray] = []
+    for index, job in enumerate(jobs):
+        buffer = job.noise.model.shape(job.noise, colored.get(index))
+        buffer += job.self_noise
+        buffers.append(buffer)
+    return buffers
+
+
+def render_capture_jobs(jobs: list[CaptureJob]) -> list[np.ndarray]:
+    """The arrival phase: finalize planned captures into sample buffers.
+
+    Deterministic given the jobs (no RNG): noise shaping (filter passes
+    stacked across jobs), convolution (stacked across jobs where shapes
+    agree), amplitude scaling, clock-skew warping, and placement — the
+    latter strictly in each job's arrival (= playback) order, so the
+    floating-point accumulation into every capture buffer matches the
+    serial loop bit for bit.
+    """
+    buffers = _shaped_noise_buffers(jobs)
+    signals = _realized_arrival_signals(jobs)
+    recordings: list[np.ndarray] = []
+    for job_index, (job, buffer) in enumerate(zip(jobs, buffers)):
+        for arrival_index, arrival in enumerate(job.arrivals):
+            received = signals[(job_index, arrival_index)] * arrival.amplitude
+            if arrival.relative_ppm:
+                received = apply_clock_skew(received, arrival.relative_ppm)
+            AcousticMixer._add_at(buffer, received, arrival.start_index)
+        recordings.append(quantize_pcm16(buffer))
+    return recordings

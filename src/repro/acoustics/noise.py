@@ -17,11 +17,31 @@ Per-environment parameter presets live in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy import signal as sp_signal
 
-__all__ = ["NoiseModel", "low_frequency_power_fraction"]
+from repro.dsp.backend import get_backend
+
+__all__ = ["NoiseModel", "NoiseDraw", "low_frequency_power_fraction"]
+
+
+@lru_cache(maxsize=64)
+def _lowpass_sos(order: int, cutoff_hz: float, sample_rate: float) -> np.ndarray:
+    """Butterworth low-pass design, cached per (order, cutoff, fs).
+
+    The design is a pure function of its parameters, and a 64-trial plan
+    used to re-run it for every one of its 128 noise buffers (~3 % of
+    runtime); the evaluation sweeps only ever touch a handful of distinct
+    parameter triples.  The cached array is frozen so no caller can
+    corrupt a shared design.
+    """
+    sos = sp_signal.butter(
+        order, cutoff_hz, btype="low", fs=sample_rate, output="sos"
+    )
+    sos.setflags(write=False)
+    return sos
 
 
 @dataclass(frozen=True)
@@ -54,36 +74,78 @@ class NoiseModel:
         if self.filter_order < 1:
             raise ValueError("filter_order must be at least 1")
 
-    def sample(
+    def draw(
         self, n_samples: int, sample_rate: float, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Generate ``n_samples`` of background noise at ``sample_rate``."""
+    ) -> "NoiseDraw":
+        """The RNG-bound half of noise synthesis: the raw normal draws.
+
+        Consumes ``rng`` exactly as :meth:`sample` always did (the white
+        low-frequency buffer first, then the broadband floor, each drawn
+        only when its std is positive), but defers the deterministic
+        shaping — the Butterworth coloring and scaling — to
+        :meth:`shape`.  The split lets a batch renderer run every
+        capture's RNG draws in per-trial stream order and then shape all
+        the white buffers in one stacked filter pass.
+        """
         if n_samples < 0:
             raise ValueError("n_samples must be non-negative")
-        if n_samples == 0:
-            return np.zeros(0)
-        if self.low_freq_cutoff_hz >= sample_rate / 2:
+        if n_samples and self.low_freq_cutoff_hz >= sample_rate / 2:
             raise ValueError(
                 f"cutoff {self.low_freq_cutoff_hz} Hz must stay below the "
                 f"Nyquist frequency {sample_rate / 2} Hz"
             )
-        buffer = np.zeros(n_samples, dtype=np.float64)
-        if self.low_freq_std > 0:
-            white = rng.normal(0.0, 1.0, size=n_samples)
-            sos = sp_signal.butter(
-                self.filter_order,
-                self.low_freq_cutoff_hz,
-                btype="low",
-                fs=sample_rate,
-                output="sos",
-            )
-            colored = sp_signal.sosfilt(sos, white)
+        white = broadband = None
+        if n_samples:
+            if self.low_freq_std > 0:
+                white = rng.normal(0.0, 1.0, size=n_samples)
+            if self.broadband_std > 0:
+                broadband = rng.normal(0.0, self.broadband_std, size=n_samples)
+        return NoiseDraw(
+            model=self,
+            n_samples=n_samples,
+            sample_rate=float(sample_rate),
+            white=white,
+            broadband=broadband,
+        )
+
+    def shape(
+        self, draw: "NoiseDraw", colored: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The deterministic half: color, scale, and mix one draw.
+
+        ``colored`` optionally supplies the already-filtered white buffer
+        (one row of a stacked :meth:`repro.dsp.backend.DSPBackend
+        .sosfilt` pass); when omitted the filter runs here.  Either way
+        the arithmetic and accumulation order match the historical
+        one-shot ``sample`` exactly.
+        """
+        if draw.n_samples == 0:
+            return np.zeros(0)
+        buffer = np.zeros(draw.n_samples, dtype=np.float64)
+        if draw.white is not None:
+            if colored is None:
+                colored = get_backend().sosfilt(self.sos(draw.sample_rate), draw.white)
             scale = float(np.std(colored))
             if scale > 0:
                 buffer += colored * (self.low_freq_std / scale)
-        if self.broadband_std > 0:
-            buffer += rng.normal(0.0, self.broadband_std, size=n_samples)
+        if draw.broadband is not None:
+            buffer += draw.broadband
         return buffer
+
+    def sos(self, sample_rate: float) -> np.ndarray:
+        """The (cached) low-pass design shaping this model's colored part."""
+        return _lowpass_sos(self.filter_order, self.low_freq_cutoff_hz, sample_rate)
+
+    def sample(
+        self, n_samples: int, sample_rate: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Generate ``n_samples`` of background noise at ``sample_rate``.
+
+        Composition of :meth:`draw` and :meth:`shape` — the same RNG
+        consumption and arithmetic the pre-split implementation had.
+        """
+        draw = self.draw(n_samples, sample_rate, rng)
+        return self.shape(draw)
 
     @property
     def total_power(self) -> float:
@@ -100,6 +162,24 @@ class NoiseModel:
             broadband_std=self.broadband_std * factor,
             filter_order=self.filter_order,
         )
+
+
+@dataclass(frozen=True)
+class NoiseDraw:
+    """RNG-phase output of :meth:`NoiseModel.draw` — raw normal buffers.
+
+    ``white`` is the unit-variance buffer awaiting the low-pass coloring
+    (None when the model has no low-frequency component or the draw is
+    empty); ``broadband`` is the already-scaled white floor (None
+    likewise).  Shaping a draw is deterministic, so draws can cross a
+    stage boundary and be filtered in stacked batches.
+    """
+
+    model: NoiseModel
+    n_samples: int
+    sample_rate: float
+    white: np.ndarray | None
+    broadband: np.ndarray | None
 
 
 def low_frequency_power_fraction(

@@ -25,10 +25,17 @@ session pipeline preserves each trial's RNG stream exactly
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Sequence
 
+from repro.dsp.backend import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    select_backend,
+    set_backend,
+)
 from repro.eval.engine import MeasurementCache, TrialEngine, use_engine
 from repro.eval.registry import EXPERIMENTS, list_experiments, run_experiment
 from repro.eval.reporting import format_throughput
@@ -70,6 +77,19 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="persist shareable measurements as JSON under DIR",
+    )
+    parser.add_argument(
+        "--dsp-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "DSP kernel backend for the spectral hot paths: "
+            f"{', '.join(available_backends())}, or 'auto' (default: the "
+            f"{BACKEND_ENV_VAR} env var if set, else auto — a per-host "
+            "probe that only ever picks kernels bit-identical to the "
+            "numpy reference; named non-numpy backends run within "
+            "documented float tolerance instead)"
+        ),
     )
     parser.add_argument(
         "--progress",
@@ -143,11 +163,29 @@ def _cmd_run(name: str, trials: int | None, seed: int, quick: bool) -> int:
     return 0
 
 
+def _apply_dsp_backend(args: argparse.Namespace) -> None:
+    """Install the requested DSP backend, process-wide and for workers.
+
+    The env var is set *before* the engine's process pool exists, so
+    worker processes inherit the choice whether they fork or spawn.
+    """
+    name = getattr(args, "dsp_backend", None)
+    if name is None:
+        return
+    try:
+        backend = select_backend(name)
+    except ValueError as error:
+        raise SystemExit(f"--dsp-backend: {error}") from None
+    os.environ[BACKEND_ENV_VAR] = backend.name
+    set_backend(backend)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list()
+        _apply_dsp_backend(args)
         if args.command == "run":
             with use_engine(_build_engine(args)) as engine:
                 try:

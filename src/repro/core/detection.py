@@ -20,18 +20,29 @@ Implementation notes (hot path)
 scans ~1200 windows of 4096 samples across its four detections.  The
 implementation therefore
 
-* gathers the window batch directly from the start indices (no
-  intermediate full sliding-window view);
-* computes the spectrum with ``rfft`` — the recordings are real, so the
-  two-sided bin ``b`` of the paper's mapping carries the same magnitude as
-  rfft bin ``min(b, N−b)`` by conjugate symmetry (the candidates sit above
-  Nyquist, i.e. in the mirrored upper half — see ``dsp/fft.py``);
+* computes the spectrum with a batched ``rfft`` — the recordings are
+  real, so the two-sided bin ``b`` of the paper's mapping carries the
+  same magnitude as rfft bin ``min(b, N−b)`` by conjugate symmetry (the
+  candidates sit above Nyquist, i.e. in the mirrored upper half — see
+  ``dsp/fft.py``);
 * evaluates the power formula only at the ±θ aggregation bins instead of
-  materializing all ``signal_length`` bins per window.
+  materializing all ``signal_length`` bins per window;
+* exploits that every scan grid (``window_starts``/``refine_range``) is
+  an arithmetic progression, at most one appended tail start aside: a
+  constant-stride run of windows is a zero-copy *strided slab* of the
+  recording's sliding-window view, which the FFT kernel consumes row by
+  row without the 8 MB/chunk gather copies the previous implementation
+  paid (measured ~2× faster on the stride-10 fine pass, bit-identical —
+  pocketfft's row copy produces the very same window contents);
+* dispatches all FFT/power arithmetic through the process-wide
+  :mod:`repro.dsp.backend` kernel provider.  The default backend is the
+  bit-compatible numpy reference; alternates (scipy ``workers=``,
+  pyFFTW, MKL) are opt-in or auto-selected only after a bit-equality
+  probe on the running host (see ``docs/pipeline.md``).
 
 The scan logic is split into phases (coarse powers → fine-pass planning →
-resolution) so that :meth:`candidate_powers_stacked` can run the FFT batch
-of *many* recordings — e.g. every session of a
+resolution) so that :meth:`candidate_powers_stacked` can run the window
+batches of *many* recordings — e.g. every session of a
 :class:`~repro.sim.pipeline.BatchedSessionRunner` batch — in one call while
 reusing the exact same per-window arithmetic.  ``candidate_powers_reference``
 preserves the pre-optimization implementation as an executable
@@ -48,6 +59,7 @@ import numpy as np
 from repro.core.config import ProtocolConfig
 from repro.core.frequencies import FrequencyPlan, build_frequency_plan
 from repro.core.signal_construction import ReferenceSignal
+from repro.dsp.backend import get_backend
 from repro.dsp.windows import refine_range, window_starts
 
 __all__ = ["SignalHypothesis", "DetectionResult", "FrequencyDetector"]
@@ -128,13 +140,23 @@ class FrequencyDetector:
     """The frequency-based detector of §IV-C, for a fixed configuration."""
 
     #: Ceiling on the windows per FFT dispatch.  The per-window FFT is
-    #: memory-bound, so the sweet spot keeps one chunk's gather + spectrum
-    #: buffers (~16 MB at 256 windows of 4096 samples) cache-resident —
-    #: measured ~2× faster per window than 1024+-window dispatches on a
-    #: cache-constrained host, while still amortizing the dispatch.  FFT
-    #: results are row-wise independent, so chunking never changes a
+    #: memory-bound, so the sweet spot keeps one chunk's transient
+    #: spectrum buffers cache-resident — and the right value varies by
+    #: host (measured 2× swings between 128 and 256 on cache-constrained
+    #: machines).  ``None`` (the default) defers to the active DSP
+    #: backend's per-host calibration
+    #: (:attr:`repro.dsp.backend.DSPBackend.fft_chunk_windows`); set a
+    #: positive int here (or the ``REPRO_DSP_CHUNK`` env var) to pin it.
+    #: FFT results are row-wise independent, so chunking never changes a
     #: single output bit.
-    MAX_FFT_WINDOWS = 256
+    MAX_FFT_WINDOWS: int | None = None
+
+    #: Minimum length of a constant-stride start run that is worth
+    #: dispatching as a strided slab; shorter runs (and irregular starts)
+    #: are batched through the fancy-index gather path instead, so a
+    #: pathological start list costs at most one gather per chunk rather
+    #: than one FFT dispatch per window.
+    MIN_STRIDED_RUN = 4
 
     def __init__(
         self, config: ProtocolConfig, plan: FrequencyPlan | None = None
@@ -155,30 +177,75 @@ class FrequencyDetector:
 
     def _window_batch_powers(self, batch: np.ndarray) -> np.ndarray:
         """Per-candidate powers for a ``(n_windows, signal_length)`` batch."""
-        length = self.config.signal_length
-        spectra = np.fft.rfft(batch, axis=1)
-        gathered = spectra[:, self._rfft_aggregation_bins]
-        return np.square(2.0 * np.abs(gathered) / length).sum(axis=2)
-
-    def _gathered_powers(
-        self, flat: np.ndarray, flat_starts: np.ndarray
-    ) -> np.ndarray:
-        """Powers for windows gathered at absolute offsets into ``flat``.
-
-        The strided view costs nothing (no copy); the row gather then
-        touches exactly the requested windows — no per-window index
-        arithmetic, no materialization of windows nobody asked for.
-        """
-        if flat_starts.size == 0:
-            return np.empty((0, self.plan.n_candidates), dtype=np.float64)
-        length = self.config.signal_length
-        view = np.lib.stride_tricks.sliding_window_view(flat, length)
-        out = np.empty(
-            (flat_starts.size, self.plan.n_candidates), dtype=np.float64
+        return get_backend().window_powers(
+            batch, self._rfft_aggregation_bins, self.config.signal_length
         )
-        for lo in range(0, flat_starts.size, self.MAX_FFT_WINDOWS):
-            hi = min(lo + self.MAX_FFT_WINDOWS, flat_starts.size)
-            out[lo:hi] = self._window_batch_powers(view[flat_starts[lo:hi]])
+
+    def _chunk_windows(self) -> int:
+        """Effective FFT dispatch ceiling (override or backend-calibrated)."""
+        if self.MAX_FFT_WINDOWS is not None:
+            return self.MAX_FFT_WINDOWS
+        return get_backend().fft_chunk_windows
+
+    @staticmethod
+    def _regular_runs(starts: np.ndarray) -> list[tuple[int, int, int]]:
+        """Split ``starts`` into maximal constant-stride runs.
+
+        Returns ``(offset, count, step)`` triples covering ``starts`` in
+        order.  Scan grids are arithmetic progressions except for the
+        appended final start (``window_starts``/``refine_range`` always
+        include the last admissible window), so this is one or two runs
+        on every hot-path call.
+        """
+        n = starts.size
+        runs: list[tuple[int, int, int]] = []
+        a = 0
+        while a < n:
+            if a == n - 1:
+                runs.append((a, 1, 1))
+                break
+            step = int(starts[a + 1] - starts[a])
+            b = a + 1
+            while b + 1 < n and int(starts[b + 1] - starts[b]) == step:
+                b += 1
+            runs.append((a, b - a + 1, step))
+            a = b + 1
+        return runs
+
+    def _scan_powers(
+        self, recording: np.ndarray, starts: np.ndarray
+    ) -> np.ndarray:
+        """Powers for validated window starts inside one recording.
+
+        Constant-stride runs become zero-copy strided slabs of the
+        sliding-window view — the FFT kernel's internal per-row copy then
+        touches exactly the requested windows, with no 2-D gather buffer
+        in between.  Leftover irregular starts fall back to the gather
+        path.  Both paths are bit-identical (same window contents, same
+        kernel), so the split is purely a scheduling decision.
+        """
+        length = self.config.signal_length
+        chunk = self._chunk_windows()
+        view = np.lib.stride_tricks.sliding_window_view(recording, length)
+        out = np.empty(
+            (starts.size, self.plan.n_candidates), dtype=np.float64
+        )
+        loose: list[int] = []
+        for offset, count, step in self._regular_runs(starts):
+            if count < self.MIN_STRIDED_RUN or step < 1:
+                loose.extend(range(offset, offset + count))
+                continue
+            first = int(starts[offset])
+            for lo in range(0, count, chunk):
+                hi = min(lo + chunk, count)
+                begin = first + lo * step
+                slab = view[begin : begin + (hi - lo - 1) * step + 1 : step]
+                out[offset + lo : offset + hi] = self._window_batch_powers(slab)
+        if loose:
+            order = np.asarray(loose, dtype=np.int64)
+            for lo in range(0, order.size, chunk):
+                sel = order[lo : lo + chunk]
+                out[sel] = self._window_batch_powers(view[starts[sel]])
         return out
 
     def candidate_powers(
@@ -197,14 +264,25 @@ class FrequencyDetector:
             return np.empty((0, self.plan.n_candidates), dtype=np.float64)
         if starts.min() < 0 or starts.max() + length > recording.shape[0]:
             raise ValueError("window starts out of range for the recording")
-        return self._gathered_powers(np.ascontiguousarray(recording), starts)
+        return self._scan_powers(np.ascontiguousarray(recording), starts)
 
     def candidate_powers_stacked(
         self,
         recordings: np.ndarray,
         jobs: Sequence[tuple[int, np.ndarray]],
     ) -> list[np.ndarray]:
-        """One stacked FFT pass over windows drawn from many recordings.
+        """Window-batch powers for scans drawn from many recordings.
+
+        This is the single seam the batched pipeline (and any future
+        GPU/remote substrate) drives: one call covers the FFT work of
+        every scan of a :class:`~repro.sim.pipeline.BatchedSessionRunner`
+        batch.  Each job's window grid is dispatched through the active
+        DSP backend's strided-slab kernel — an earlier revision flattened
+        all jobs into one absolute-offset gather, but that destroyed the
+        grids' stride regularity and forced an 8 MB/chunk window copy the
+        slab path never pays; per-job dispatch is both faster and what
+        makes batched results equal serial results *by construction*
+        (identical per-scan kernel calls, not merely value-equal ones).
 
         Parameters
         ----------
@@ -218,9 +296,7 @@ class FrequencyDetector:
         -------
         list[numpy.ndarray]
             One ``(len(starts), N)`` matrix per job, bit-identical to
-            ``candidate_powers(recordings[i], starts)`` — the FFT and the
-            power arithmetic are row-wise independent, so stacking the
-            window axis across recordings cannot change any output value.
+            ``candidate_powers(recordings[i], starts)``.
         """
         recordings = np.ascontiguousarray(recordings, dtype=np.float64)
         if recordings.ndim != 2:
@@ -229,24 +305,20 @@ class FrequencyDetector:
             )
         n_samples = recordings.shape[1]
         length = self.config.signal_length
-        flat = recordings.reshape(-1)
-        pieces = []
-        counts = []
+        results: list[np.ndarray] = []
         for index, starts in jobs:
             starts = np.asarray(starts, dtype=np.int64)
             if not 0 <= index < recordings.shape[0]:
                 raise ValueError(f"recording index {index} out of range")
-            if starts.size and (
-                starts.min() < 0 or starts.max() + length > n_samples
-            ):
+            if starts.size == 0:
+                results.append(
+                    np.empty((0, self.plan.n_candidates), dtype=np.float64)
+                )
+                continue
+            if starts.min() < 0 or starts.max() + length > n_samples:
                 raise ValueError("window starts out of range for the recording")
-            pieces.append(starts + index * n_samples)
-            counts.append(starts.size)
-        if not pieces:
-            return []
-        powers = self._gathered_powers(flat, np.concatenate(pieces))
-        splits = np.cumsum(counts)[:-1]
-        return [np.ascontiguousarray(part) for part in np.split(powers, splits)]
+            results.append(self._scan_powers(recordings[index], starts))
+        return results
 
     def candidate_powers_reference(
         self, recording: np.ndarray, starts: np.ndarray

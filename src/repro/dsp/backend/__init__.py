@@ -1,0 +1,40 @@
+"""Pluggable DSP kernel backends for the ranging hot paths.
+
+See :mod:`repro.dsp.backend.base` for the kernel contract and
+:mod:`repro.dsp.backend.select` for how the process-wide default is
+chosen (explicit > ``REPRO_DSP_BACKEND`` > per-host calibration probe).
+"""
+
+from repro.dsp.backend.base import (
+    CHUNK_ENV_VAR,
+    DEFAULT_FFT_CHUNK_WINDOWS,
+    DSPBackend,
+)
+from repro.dsp.backend.numpy_backend import NumpyBackend
+from repro.dsp.backend.scipy_backend import ScipyBackend
+from repro.dsp.backend.select import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    create_backend,
+    get_backend,
+    probe_bit_compatible,
+    select_backend,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "DSPBackend",
+    "NumpyBackend",
+    "ScipyBackend",
+    "BACKEND_ENV_VAR",
+    "CHUNK_ENV_VAR",
+    "DEFAULT_FFT_CHUNK_WINDOWS",
+    "available_backends",
+    "create_backend",
+    "get_backend",
+    "probe_bit_compatible",
+    "select_backend",
+    "set_backend",
+    "use_backend",
+]

@@ -1,0 +1,91 @@
+"""Optional FFT backends, autodetected and import-gated.
+
+pyFFTW and mkl_fft are *not* dependencies of this project; when one is
+present in the environment its adapter registers itself as an available
+backend, otherwise the registry simply omits it.  Both are tolerance
+backends: FFTW/MKL use different butterfly orderings than pocketfft, so
+their spectra agree with the numpy reference only to ~1e-13 relative —
+the auto-selector's bit-compatibility probe therefore (correctly) keeps
+them out of the default slot on essentially every host, and they are
+reached via ``--dsp-backend pyfftw`` / ``--dsp-backend mkl``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.dsp.backend.base import DSPBackend
+
+__all__ = ["optional_backend_classes"]
+
+
+def _pyfftw_class():
+    try:
+        import pyfftw  # noqa: F401
+        import pyfftw.interfaces.numpy_fft as fftw_fft
+        from pyfftw.interfaces import cache as fftw_cache
+    except ImportError:
+        return None
+
+    class PyFFTWBackend(DSPBackend):
+        """FFTW via pyFFTW's numpy-compatible interface (threaded)."""
+
+        name = "pyfftw"
+
+        def __init__(
+            self,
+            fft_chunk_windows: int | None = None,
+            threads: int | None = None,
+        ) -> None:
+            super().__init__(fft_chunk_windows)
+            self.threads = (
+                threads if threads is not None else (os.cpu_count() or 1)
+            )
+            fftw_cache.enable()
+
+        def rfft(self, batch: np.ndarray, axis: int = -1) -> np.ndarray:
+            return fftw_fft.rfft(batch, axis=axis, threads=self.threads)
+
+        def convolve(self, signal, taps):
+            return np.convolve(signal, taps)
+
+        def sosfilt(self, sos, signal):
+            return sp_signal.sosfilt(sos, signal)
+
+    return PyFFTWBackend
+
+
+def _mkl_class():
+    try:
+        import mkl_fft._numpy_fft as mkl_fft_np
+    except ImportError:
+        return None
+
+    class MKLBackend(DSPBackend):
+        """Intel MKL FFT via mkl_fft's numpy-compatible interface."""
+
+        name = "mkl"
+
+        def rfft(self, batch: np.ndarray, axis: int = -1) -> np.ndarray:
+            return mkl_fft_np.rfft(batch, axis=axis)
+
+        def convolve(self, signal, taps):
+            return np.convolve(signal, taps)
+
+        def sosfilt(self, sos, signal):
+            return sp_signal.sosfilt(sos, signal)
+
+    return MKLBackend
+
+
+def optional_backend_classes() -> dict[str, type[DSPBackend]]:
+    """Backend classes whose third-party dependency imported cleanly."""
+    classes: dict[str, type[DSPBackend]] = {}
+    for factory in (_pyfftw_class, _mkl_class):
+        cls = factory()
+        if cls is not None:
+            classes[cls.name] = cls
+    return classes

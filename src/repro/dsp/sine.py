@@ -9,11 +9,41 @@ end because detection uses the same discrete-time bin bookkeeping
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["synthesize_sine", "synthesize_tone_sum", "tone_amplitude_for_power"]
+
+#: Tone rows longer than this are synthesized without caching.  The
+#: cache exists for reference-signal-length rows (4096 samples ≈ 32 KB
+#: each), so the ceiling admits those with headroom for larger configs
+#: while bounding worst-case cache memory to 128 × 64 KB = 8 MB per
+#: process.
+_CACHE_MAX_SAMPLES = 8_192
+
+
+@lru_cache(maxsize=128)
+def _unit_sine_row(
+    frequency: float, n_samples: int, sample_rate: float, phase: float
+) -> np.ndarray:
+    """``sin(2π·f/fs·n + phase)`` — the amplitude-free tone row, cached.
+
+    Reference signals draw their tones from the *same* N candidate
+    frequencies round after round (N = 30 in the paper), so across a
+    trial plan the distinct (frequency, length, rate, phase) keys number
+    a few dozen while the synthesized tones number thousands.  Caching
+    the unit rows turns almost every ``np.sin`` evaluation of a plan into
+    a lookup — and is invisible bit-wise, because the cached row holds
+    exactly the values the inline expression produces and the amplitude
+    multiply still happens per call.  Rows are frozen against accidental
+    mutation.
+    """
+    n = np.arange(n_samples, dtype=np.float64)
+    row = np.sin(2.0 * np.pi * frequency / sample_rate * n + phase)
+    row.setflags(write=False)
+    return row
 
 
 def synthesize_sine(
@@ -42,6 +72,10 @@ def synthesize_sine(
         raise ValueError(f"n_samples must be non-negative, got {n_samples}")
     if sample_rate <= 0:
         raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+    if n_samples <= _CACHE_MAX_SAMPLES:
+        return amplitude * _unit_sine_row(
+            float(frequency), int(n_samples), float(sample_rate), float(phase)
+        )
     n = np.arange(n_samples, dtype=np.float64)
     return amplitude * np.sin(2.0 * np.pi * frequency / sample_rate * n + phase)
 
@@ -58,7 +92,25 @@ def synthesize_tone_sum(
     ``phases`` defaults to all-zero, matching the paper's construction; the
     spoofing attacks pass explicit phases to emulate arbitrary attacker
     hardware.
+
+    A 64-trial plan synthesizes 3,500+ tones and the per-tone
+    :func:`synthesize_sine` calls used to dominate signal construction.
+    Reference-length tone rows now come from the :func:`_unit_sine_row`
+    cache (the candidate set is only N = 30 frequencies, so cache hits
+    dominate after the first round); longer syntheses fall back to one
+    broadcasted outer product.  Both paths are bit-compatible with the
+    historical loop by construction: the phase-ramp coefficients
+    ``2π·f/fs`` go through the same left-associated scalar operations
+    (elementwise over the tone axis in the broadcast case), ``np.sin``
+    is evaluated on the same arguments, the per-tone amplitude multiply
+    stays outside the cached row, and tone rows accumulate in the same
+    sequential order — only the number of numpy dispatches (and repeated
+    ``sin`` evaluations) changed (see ``tests/test_dsp_sine.py``).
     """
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+    if sample_rate <= 0:
+        raise ValueError(f"sample_rate must be positive, got {sample_rate}")
     freqs = np.atleast_1d(np.asarray(list(frequencies), dtype=np.float64))
     amps = np.atleast_1d(np.asarray(list(amplitudes), dtype=np.float64))
     if freqs.shape != amps.shape:
@@ -74,8 +126,19 @@ def synthesize_tone_sum(
                 f"got {freqs.size} frequencies but {phase_arr.size} phases"
             )
     signal = np.zeros(n_samples, dtype=np.float64)
-    for freq, amp, phase in zip(freqs, amps, phase_arr):
-        signal += synthesize_sine(freq, amp, n_samples, sample_rate, phase)
+    if freqs.size == 0 or n_samples == 0:
+        return signal
+    if n_samples <= _CACHE_MAX_SAMPLES:
+        for freq, amp, phase in zip(freqs, amps, phase_arr):
+            signal += amp * _unit_sine_row(
+                float(freq), int(n_samples), float(sample_rate), float(phase)
+            )
+        return signal
+    n = np.arange(n_samples, dtype=np.float64)
+    ramps = (2.0 * np.pi * freqs / sample_rate)[:, np.newaxis] * n
+    tones = amps[:, np.newaxis] * np.sin(ramps + phase_arr[:, np.newaxis])
+    for row in tones:
+        signal += row
     return signal
 
 

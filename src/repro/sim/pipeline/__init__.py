@@ -7,8 +7,9 @@ Three modules (see ``docs/pipeline.md``):
   ``exchange_and_decide``) plus :func:`run_staged`, the serial chain that
   :class:`repro.sim.session.RangingSession` wraps;
 * **batch** — :class:`BatchedSessionRunner`, which executes the
-  negotiate/schedule/render stages per trial (preserving each trial's RNG
-  stream) and then runs detection as stacked FFT passes spanning every
+  negotiate/schedule/render_noise stages per trial (preserving each
+  trial's RNG stream), renders every capture's arrivals in one stacked
+  pass, and then runs detection as stacked window batches spanning every
   recording of the batch;
 * **reference** — the pre-refactor monolithic loop, kept as the
   executable specification the equivalence tests and benchmarks compare
@@ -21,6 +22,7 @@ from repro.sim.pipeline.stages import (
     DetectionPair,
     InterferenceProvider,
     NegotiationResult,
+    PlannedRender,
     RenderedRecordings,
     SchedulePlan,
     SessionArtifacts,
@@ -31,6 +33,8 @@ from repro.sim.pipeline.stages import (
     negotiate,
     radiated_reference_waveform,
     render,
+    render_arrivals,
+    render_noise,
     run_staged,
     schedule,
     session_cost,
@@ -42,6 +46,7 @@ __all__ = [
     "DetectionPair",
     "InterferenceProvider",
     "NegotiationResult",
+    "PlannedRender",
     "RenderedRecordings",
     "SchedulePlan",
     "SessionArtifacts",
@@ -52,6 +57,8 @@ __all__ = [
     "negotiate",
     "radiated_reference_waveform",
     "render",
+    "render_arrivals",
+    "render_noise",
     "run_monolithic",
     "run_staged",
     "schedule",

@@ -3,15 +3,18 @@
 :class:`BatchedSessionRunner` consumes B independent sessions and runs
 them stage by stage instead of session by session:
 
-1. ``negotiate`` + ``schedule`` + ``render`` execute per session, each on
-   its own RNG stream — these stages *are* the stream consumers, so their
-   per-trial draw order is untouched (see ``docs/pipeline.md``);
-2. ``detect`` executes as one stacked pass: the 2·B capture buffers of the
-   batch go through a single coarse ``candidate_powers_stacked`` FFT batch
+1. ``negotiate`` + ``schedule`` + ``render_noise`` execute per session,
+   each on its own RNG stream — these stages *are* the stream consumers,
+   so their per-trial draw order is untouched (see ``docs/pipeline.md``);
+2. the render stage's deterministic half runs as one batch:
+   ``render_arrivals`` groups equal-shape (waveform, taps) pairs across
+   all 2·B captures into stacked convolutions;
+3. ``detect`` executes as one stacked pass: the 2·B capture buffers of the
+   batch go through a shared coarse ``candidate_powers_stacked`` pass
    and one more stacked call for all fine passes
    (:meth:`repro.core.action.ActionRanging.observe_batch`), instead of
-   2·B coarse + 4·B fine FFT dispatches and 4·B Python-level scans;
-3. ``exchange_and_decide`` executes per session, again on the session RNG.
+   2·B coarse + 4·B fine scans;
+4. ``exchange_and_decide`` executes per session, again on the session RNG.
 
 Detection is a pure function of the recordings and the FFT/power
 arithmetic is row-wise independent, so batched outcomes are bit-identical
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Protocol, Sequence
 
 import numpy as np
@@ -37,6 +41,7 @@ from repro.core.ranging import RangingOutcome
 from repro.sim.pipeline.stages import (
     DetectionPair,
     NegotiationResult,
+    PlannedRender,
     RenderedRecordings,
     SessionArtifacts,
     SessionContext,
@@ -44,7 +49,8 @@ from repro.sim.pipeline.stages import (
     exchange_and_decide,
     negotiate,
     record_schedule_artifacts,
-    render,
+    render_arrivals,
+    render_noise,
     schedule,
 )
 
@@ -53,10 +59,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["BatchedSessionRunner", "DEFAULT_BATCH_SIZE"]
 
-#: Auto batch size: large enough that the stacked coarse pass covers a few
-#: thousand windows (amortizing each FFT dispatch), small enough that the
-#: transient window/spectrum buffers stay well under
-#: :attr:`~repro.core.detection.FrequencyDetector.MAX_FFT_WINDOWS` chunks.
+#: Auto batch size: large enough that the shared coarse pass and the
+#: stacked arrival convolutions amortize their dispatch overhead, small
+#: enough that a batch's 2·B capture buffers stay a modest memory
+#: footprint.  (FFT work is chunked independently — see the calibrated
+#: :attr:`repro.dsp.backend.DSPBackend.fft_chunk_windows`.)
 DEFAULT_BATCH_SIZE = 16
 
 
@@ -70,12 +77,15 @@ class SessionLike(Protocol):
 
 @dataclass
 class _PreparedSession:
-    """One session that survived negotiate/schedule/render."""
+    """One session that survived negotiate/schedule/render_noise.
+
+    ``recordings`` is filled in by the batch-stacked arrival phase.
+    """
 
     index: int
     session: SessionLike
     negotiation: NegotiationResult
-    recordings: RenderedRecordings
+    recordings: RenderedRecordings | None = None
 
 
 class BatchedSessionRunner:
@@ -90,10 +100,29 @@ class BatchedSessionRunner:
         for every value.
     """
 
-    def __init__(self, batch_size: int | None = None) -> None:
+    def __init__(
+        self,
+        batch_size: int | None = None,
+        stage_timings: dict[str, float] | None = None,
+    ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
         self.batch_size = batch_size or DEFAULT_BATCH_SIZE
+        #: Optional wall-clock accounting: when a dict is supplied, each
+        #: batch accumulates per-stage seconds into it under the keys
+        #: ``prepare`` (negotiate+schedule+render_noise, the RNG-bound
+        #: phase), ``render`` (the stacked arrival phase), ``detect``,
+        #: and ``decide``.  Used by ``benchmarks/bench_pipeline.py`` and
+        #: ``tools/profile_pipeline.py``; zero overhead when None.
+        self.stage_timings = stage_timings
+
+    def _account(self, stage: str, started: float) -> float:
+        now = perf_counter()
+        if self.stage_timings is not None:
+            self.stage_timings[stage] = (
+                self.stage_timings.get(stage, 0.0) + now - started
+            )
+        return now
 
     def run(
         self, sessions: Iterable["RangingSession"] | Iterable[SessionLike]
@@ -118,6 +147,8 @@ class BatchedSessionRunner:
     def _run_batch(self, sessions: Sequence[SessionLike]) -> list[RangingOutcome]:
         outcomes: list[RangingOutcome | None] = [None] * len(sessions)
         prepared: list[_PreparedSession] = []
+        planned_renders: list[PlannedRender] = []
+        mark = perf_counter()
         for index, session in enumerate(sessions):
             ctx, rng, artifacts = session.context, session.rng, session.artifacts
             negotiation = negotiate(ctx, rng)
@@ -129,15 +160,26 @@ class BatchedSessionRunner:
             plan = schedule(ctx, negotiation, rng)
             if artifacts is not None:
                 record_schedule_artifacts(artifacts, plan)
-            recordings = render(ctx, plan, rng)
+            planned_renders.append(render_noise(ctx, plan, rng))
+            prepared.append(
+                _PreparedSession(index, session, negotiation, None)
+            )
+
+        mark = self._account("prepare", mark)
+
+        # Deterministic arrival phase, stacked across all 2·B captures.
+        for item, recordings in zip(prepared, render_arrivals(planned_renders)):
+            item.recordings = recordings
+            artifacts = item.session.artifacts
             if artifacts is not None:
                 artifacts.recording_auth = recordings.auth
                 artifacts.recording_vouch = recordings.vouch
-            prepared.append(
-                _PreparedSession(index, session, negotiation, recordings)
-            )
+        mark = self._account("render", mark)
 
-        for item, detections in zip(prepared, self._detect_all(prepared)):
+        detections_all = self._detect_all(prepared)
+        mark = self._account("detect", mark)
+
+        for item, detections in zip(prepared, detections_all):
             outcomes[item.index] = exchange_and_decide(
                 item.session.context,
                 item.negotiation,
@@ -145,6 +187,7 @@ class BatchedSessionRunner:
                 item.session.rng,
                 item.session.artifacts,
             )
+        self._account("decide", mark)
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 

@@ -31,12 +31,18 @@ wrapper around it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.acoustics.environment import Environment
-from repro.acoustics.mixer import AcousticMixer, PlaybackEvent, RecordingRequest
+from repro.acoustics.mixer import (
+    AcousticMixer,
+    CaptureJob,
+    PlaybackEvent,
+    RecordingRequest,
+    render_capture_jobs,
+)
 from repro.acoustics.propagation import PropagationModel
 from repro.comms.bluetooth import BluetoothLink
 from repro.comms.messages import RangingInit, VouchReport
@@ -64,12 +70,15 @@ __all__ = [
     "SessionContext",
     "NegotiationResult",
     "SchedulePlan",
+    "PlannedRender",
     "RenderedRecordings",
     "DetectionPair",
     "radiated_reference_waveform",
     "negotiate",
     "schedule",
     "render",
+    "render_noise",
+    "render_arrivals",
     "detect",
     "exchange_and_decide",
     "session_cost",
@@ -184,6 +193,22 @@ class SchedulePlan:
     vouch_play_world: float
     window_end: float
     n_samples: int
+
+
+@dataclass(frozen=True)
+class PlannedRender:
+    """RNG-phase output of the split render stage: both capture jobs.
+
+    Holds everything the deterministic arrival phase needs — the noise
+    beds and the realized-channel arrival plans for the auth and vouch
+    captures.  Producing this object consumes the session RNG exactly as
+    the one-shot ``render`` stage did; finalizing it consumes no RNG at
+    all, which is what lets a batch runner stack the arrival math of many
+    sessions into shared kernel calls.
+    """
+
+    auth: CaptureJob
+    vouch: CaptureJob
 
 
 @dataclass(frozen=True)
@@ -337,16 +362,18 @@ def schedule(
     )
 
 
-def render(
+def render_noise(
     ctx: SessionContext,
     plan: SchedulePlan,
     rng: np.random.Generator,
-) -> RenderedRecordings:
-    """Render both microphones through one per-session mixer.
+) -> PlannedRender:
+    """The RNG-bound half of the render stage: noise beds + channel draws.
 
-    The mixer draws noise and channel realizations from the session RNG in
-    a fixed order (auth capture first, then vouch), so the stage boundary
-    does not disturb the stream.
+    One per-session mixer consumes the session RNG in the fixed historical
+    order — auth capture first (noise, self-noise, channel draws in
+    playback order), then vouch — so splitting the stage does not disturb
+    any trial's stream.  The returned :class:`PlannedRender` is pure data;
+    everything after it is deterministic.
     """
     mixer = AcousticMixer(
         environment=ctx.environment,
@@ -355,15 +382,51 @@ def render(
         rng=rng,
     )
     playbacks = list(plan.playbacks)
-    recording_auth = mixer.render(
-        RecordingRequest(ctx.auth_device, plan.auth_record_start, plan.n_samples),
-        playbacks,
+    return PlannedRender(
+        auth=mixer.plan_capture(
+            RecordingRequest(
+                ctx.auth_device, plan.auth_record_start, plan.n_samples
+            ),
+            playbacks,
+        ),
+        vouch=mixer.plan_capture(
+            RecordingRequest(
+                ctx.vouch_device, plan.vouch_record_start, plan.n_samples
+            ),
+            playbacks,
+        ),
     )
-    recording_vouch = mixer.render(
-        RecordingRequest(ctx.vouch_device, plan.vouch_record_start, plan.n_samples),
-        playbacks,
-    )
-    return RenderedRecordings(auth=recording_auth, vouch=recording_vouch)
+
+
+def render_arrivals(planned: Sequence[PlannedRender]) -> list[RenderedRecordings]:
+    """The deterministic half of the render stage, for 1..B sessions.
+
+    Stacks equal-shape (waveform, taps) convolutions across *all* 2·B
+    captures via :func:`repro.acoustics.mixer.render_capture_jobs`; the
+    per-capture accumulation order is unchanged, so the result is
+    bit-identical to finalizing each session alone (B = 1 *is* the serial
+    path — same kernels, same calls).
+    """
+    jobs = [job for item in planned for job in (item.auth, item.vouch)]
+    recordings = render_capture_jobs(jobs)
+    return [
+        RenderedRecordings(auth=recordings[2 * i], vouch=recordings[2 * i + 1])
+        for i in range(len(planned))
+    ]
+
+
+def render(
+    ctx: SessionContext,
+    plan: SchedulePlan,
+    rng: np.random.Generator,
+) -> RenderedRecordings:
+    """Render both microphones through one per-session mixer.
+
+    The composition of :func:`render_noise` and :func:`render_arrivals`
+    for a single session — the very kernel calls the batch runner makes,
+    at B = 1.
+    """
+    return render_arrivals([render_noise(ctx, plan, rng)])[0]
 
 
 def detect(

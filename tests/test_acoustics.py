@@ -254,3 +254,33 @@ def test_playback_event_validation():
             waveform=np.zeros((2, 2)),
             world_start=0.0,
         )
+
+
+def test_noise_sample_equals_draw_plus_shape():
+    """The draw/shape split composes to the historical one-shot sample."""
+    model = NoiseModel(low_freq_std=800.0, broadband_std=120.0)
+    sampled = model.sample(8_000, 44_100.0, np.random.default_rng(3))
+    draw = model.draw(8_000, 44_100.0, np.random.default_rng(3))
+    assert np.array_equal(model.shape(draw), sampled)
+    # Pre-filtered row supplied externally (the batched path) — same bits.
+    from repro.dsp.backend import get_backend
+
+    colored = get_backend().sosfilt(model.sos(44_100.0), draw.white)
+    assert np.array_equal(model.shape(draw, colored), sampled)
+
+
+def test_noise_sos_design_is_cached():
+    model = NoiseModel(low_freq_std=800.0, low_freq_cutoff_hz=3_500.0)
+    first = model.sos(44_100.0)
+    assert first is model.sos(44_100.0)  # same frozen object, no redesign
+    assert not first.flags.writeable
+    other = model.sos(48_000.0)
+    assert other is not first
+
+
+def test_noise_draw_validation_matches_sample():
+    model = NoiseModel(low_freq_cutoff_hz=4_000.0)
+    with pytest.raises(ValueError):
+        model.draw(100, 7_000.0, np.random.default_rng(0))  # cutoff >= Nyquist
+    empty = model.draw(0, 44_100.0, np.random.default_rng(0))
+    assert model.shape(empty).shape == (0,)

@@ -70,3 +70,37 @@ def test_tone_amplitude_for_power():
     assert tone_amplitude_for_power(25.0) == pytest.approx(5.0)
     with pytest.raises(ValueError):
         tone_amplitude_for_power(-1.0)
+
+
+def test_tone_sum_bit_identical_to_historical_loop():
+    """The cached-row synthesis reproduces the per-tone loop bit for bit.
+
+    The historical implementation computed, per tone,
+    ``amp * np.sin(2π·f/fs·n + phase)`` and accumulated sequentially into
+    a zeros buffer; the cache only memoizes the amplitude-free rows, so
+    every arithmetic step (and its order) is unchanged.
+    """
+    rng = np.random.default_rng(11)
+    freqs = rng.uniform(25_000.0, 35_000.0, size=12)
+    amps = rng.uniform(10.0, 2_000.0, size=12)
+    phases = rng.uniform(-np.pi, np.pi, size=12)
+    for use_phases in (None, phases):
+        expected = np.zeros(4096)
+        for i in range(12):
+            n = np.arange(4096, dtype=np.float64)
+            phase = 0.0 if use_phases is None else phases[i]
+            expected += amps[i] * np.sin(
+                2.0 * np.pi * freqs[i] / 44_100.0 * n + phase
+            )
+        out = synthesize_tone_sum(freqs, amps, 4096, 44_100.0, use_phases)
+        assert np.array_equal(out, expected)
+        # Second call: served from the row cache, still identical.
+        again = synthesize_tone_sum(freqs, amps, 4096, 44_100.0, use_phases)
+        assert np.array_equal(again, expected)
+
+
+def test_cached_sine_rows_are_immutable_and_results_writable():
+    first = synthesize_sine(30_000.0, 1.0, 4096, 44_100.0)
+    first[0] = 123.0  # the returned array is a fresh product, mutable
+    second = synthesize_sine(30_000.0, 1.0, 4096, 44_100.0)
+    assert second[0] != 123.0

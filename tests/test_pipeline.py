@@ -7,9 +7,12 @@ pre-refactor monolithic loop (:func:`run_monolithic`) produce
 experiment tables — for every scenario.
 """
 
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
 
+from repro.attacks.all_frequency import AllFrequencySpoofAttack
 from repro.baselines.cc_detector import ActionCCRanging
 from repro.core.config import ProtocolConfig
 from repro.core.detection import FrequencyDetector
@@ -56,6 +59,29 @@ def build_sessions(spec: TrialSpec):
     return sessions
 
 
+@dataclass(frozen=True)
+class SpoofInterference:
+    """Security-scene factory: an all-frequency spoofer blankets the band.
+
+    Mirrors the §V attack setup — the heaviest interference the
+    experiments produce — so the batched-equals-serial contract is
+    exercised on captures whose arrival lists are dominated by attacker
+    playbacks.
+    """
+
+    def __call__(self, world, rng):
+        from repro.sim.geometry import Point
+
+        attacker = world.add_device("attacker", Point(0.3, 0.0))
+        attack = AllFrequencySpoofAttack(
+            world=world,
+            auth_name=AUTH,
+            vouch_name=VOUCH,
+            attacker=attacker,
+        )
+        return [attack.playbacks]
+
+
 PLAIN = TrialSpec(environment="office", distance_m=1.0, n_trials=7, seed=3)
 MULTIUSER = TrialSpec(
     environment="office",
@@ -71,13 +97,23 @@ CC_ENGINE = TrialSpec(
     seed=5,
     engine=ActionCCRanging(ProtocolConfig()),
 )
+SECURITY = TrialSpec(
+    environment="office",
+    distance_m=4.0,
+    n_trials=4,
+    seed=6,
+    interference_factory=SpoofInterference(),
+)
 
 
-@pytest.fixture(params=["plain", "multiuser", "cc_engine"])
+@pytest.fixture(params=["plain", "multiuser", "cc_engine", "security"])
 def spec(request):
-    return {"plain": PLAIN, "multiuser": MULTIUSER, "cc_engine": CC_ENGINE}[
-        request.param
-    ]
+    return {
+        "plain": PLAIN,
+        "multiuser": MULTIUSER,
+        "cc_engine": CC_ENGINE,
+        "security": SECURITY,
+    }[request.param]
 
 
 @pytest.fixture()
@@ -152,6 +188,31 @@ def test_experiment_tables_batch_invariant(name, trials):
     serial = _experiment_text(name, 1, trials)
     batched = _experiment_text(name, 16, trials)
     assert batched == serial
+
+
+def test_experiment_tables_backend_invariant():
+    """Auto-selection (and any probe-passing backend) leaves table bytes.
+
+    The numpy default is the reference; the auto-selector may only ever
+    install a backend whose FFT kernel probed bit-identical to numpy on
+    this host, so the selected backend — whichever it is — must
+    reproduce the reference tables byte for byte.
+    """
+    from repro.dsp.backend import (
+        ScipyBackend,
+        probe_bit_compatible,
+        select_backend,
+        use_backend,
+    )
+
+    with use_backend("numpy"):
+        reference = _experiment_text("fig1", 16, 2)
+    with use_backend(select_backend()):
+        assert _experiment_text("fig1", 16, 2) == reference
+    scipy_backend = ScipyBackend()
+    if probe_bit_compatible(scipy_backend):
+        with use_backend(scipy_backend):
+            assert _experiment_text("fig1", 16, 2) == reference
 
 
 # ----------------------------------------------------------------------
