@@ -14,6 +14,10 @@ Quick smoke pass over every experiment, four worker processes::
 
     python -m repro run-all --quick --jobs 4
 
+Serve streaming authentication requests over TCP (``docs/service.md``)::
+
+    python -m repro serve --port 8765
+
 Results are deterministic in ``--seed`` regardless of ``--jobs`` and
 ``--batch``: the parallel engine derives every trial's randomness from
 the experiment description, never from scheduling order, and the batched
@@ -126,6 +130,69 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--seed", type=int, default=0)
     all_parser.add_argument("--quick", action="store_true")
     _add_engine_options(all_parser)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve streaming authentication requests over TCP",
+        description=(
+            "Start the asyncio authentication service (repro.service): "
+            "JSON-lines requests in, per-round ranging decisions "
+            "streamed back, concurrent requests coalesced into stacked "
+            "DSP batches.  See docs/service.md."
+        ),
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8765)
+    serve_parser.add_argument(
+        "--batch",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "max rounds per stacked DSP pass (default: auto; 1 = "
+            "per-round DSP). Decisions are identical for any value."
+        ),
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=_positive_int,
+        default=256,
+        metavar="N",
+        help="max rounds queued for DSP before requests get a busy error",
+    )
+    serve_parser.add_argument(
+        "--linger-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long the batcher waits for more concurrent rounds",
+    )
+    serve_parser.add_argument(
+        "--dsp-workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="threads on the DSP executor (1 serializes stacked passes)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=32,
+        metavar="N",
+        help=(
+            "max rounds prepared/in detection at once (memory bound; "
+            "excess rounds wait, they are not rejected)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--dsp-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "DSP kernel backend, as for run/run-all: "
+            f"{', '.join(available_backends())}, or 'auto'"
+        ),
+    )
     return parser
 
 
@@ -163,6 +230,40 @@ def _cmd_run(name: str, trials: int | None, seed: int, quick: bool) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming authentication service until interrupted."""
+    import asyncio
+
+    from repro.service import AuthService
+
+    async def run() -> None:
+        service = AuthService(
+            batch_size=args.batch,
+            linger_ms=args.linger_ms,
+            queue_limit=args.queue_limit,
+            dsp_workers=args.dsp_workers,
+            max_inflight_rounds=args.max_inflight,
+        )
+        async with service:
+            server = await service.serve(args.host, args.port)
+            sockets = server.sockets or ()
+            for sock in sockets:
+                host, port = sock.getsockname()[:2]
+                print(
+                    f"serving PIANO authentication on {host}:{port} "
+                    "(JSON lines; Ctrl-C to stop)",
+                    file=sys.stderr,
+                )
+            async with server:
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    return 0
+
+
 def _apply_dsp_backend(args: argparse.Namespace) -> None:
     """Install the requested DSP backend, process-wide and for workers.
 
@@ -186,6 +287,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "list":
             return _cmd_list()
         _apply_dsp_backend(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "run":
             with use_engine(_build_engine(args)) as engine:
                 try:

@@ -1,8 +1,33 @@
 """Pluggable DSP kernel backends for the ranging hot paths.
 
-See :mod:`repro.dsp.backend.base` for the kernel contract and
-:mod:`repro.dsp.backend.select` for how the process-wide default is
-chosen (explicit > ``REPRO_DSP_BACKEND`` > per-host calibration probe).
+Every spectral hot path — the detector's batched ``rfft``/window-power
+passes, the mixer's arrival convolutions, the noise-shaping ``sosfilt`` —
+calls through a process-wide :class:`DSPBackend` instead of numpy/scipy
+directly.  See :mod:`repro.dsp.backend.base` for the kernel contract and
+:mod:`repro.dsp.backend.select` for the selection machinery.
+
+Invariants every caller may rely on (and every new backend must honor):
+
+1. **The numpy backend is the bit-compatible reference** — each of its
+   kernels performs exactly the pre-backend-seam arithmetic, so results
+   under it define what "correct bits" means for the whole repo.
+2. **Auto-selection never changes bits** — with no explicit choice
+   (``--dsp-backend`` / :func:`set_backend` / ``REPRO_DSP_BACKEND``), a
+   per-host probe admits only backends whose kernels are *all*
+   bit-identical to the numpy reference on the running host; experiment
+   tables therefore never change bytes under auto-selection.
+3. **Named backends have a documented tolerance** — explicitly selected
+   non-reference backends (scipy, pyFFTW, MKL) may round differently but
+   must stay within 1e-10 relative of the reference on the probe suite
+   (``tests/test_dsp_backend.py``).
+4. **Kernels are row-wise independent and stateless** — batching,
+   chunking (``fft_chunk_windows`` / ``REPRO_DSP_CHUNK``), and
+   row-parallel threading (scipy ``workers=``) are dispatch decisions
+   that cannot change any row's bits, which is what makes cross-session
+   batching and the streaming service's shared DSP executor safe.
+
+Selection precedence: explicit > ``REPRO_DSP_BACKEND`` > per-host
+calibration probe.
 """
 
 from repro.dsp.backend.base import (

@@ -18,6 +18,7 @@ from repro.eval.engine.executor import (
     EngineCounters,
     TrialEngine,
     build_pair_world,
+    build_trial_session,
     run_cell_spec,
 )
 from repro.eval.engine.spec import (
@@ -42,6 +43,7 @@ __all__ = [
     "TrialPlan",
     "TrialSpec",
     "build_pair_world",
+    "build_trial_session",
     "fingerprint_value",
     "get_engine",
     "reset_default_engine",

@@ -40,6 +40,7 @@ __all__ = [
     "EngineCounters",
     "TrialEngine",
     "build_pair_world",
+    "build_trial_session",
     "run_cell_spec",
 ]
 
@@ -70,6 +71,31 @@ def build_pair_world(
     return world
 
 
+def build_trial_session(spec: TrialSpec, trial: int):
+    """Build trial ``trial`` of ``spec`` as a ready-to-run session.
+
+    The single construction path every execution mode shares: a fresh
+    world seeded ``spec.trial_seed(trial)``, the spec's interference
+    providers, and one ranging session on the world's ``"session"``
+    stream.  :func:`run_cell_spec` (CLI/engine trials) and the streaming
+    service (``repro.service``) both call this, which is what makes a
+    served decision bit-identical to the same trial run by the CLI.
+    """
+    world = build_pair_world(
+        spec.environment,
+        spec.distance_m,
+        spec.trial_seed(trial),
+        config=spec.config,
+        room=spec.room,
+    )
+    providers: Sequence = ()
+    if spec.interference_factory is not None:
+        providers = spec.interference_factory(
+            world, world.rngs.generator("interference")
+        )
+    return world.ranging_session(AUTH, VOUCH, providers, engine=spec.engine)
+
+
 def run_cell_spec(
     spec: TrialSpec, batch_size: int | None = None
 ) -> CellResult:
@@ -92,21 +118,7 @@ def run_cell_spec(
 
     def sessions():
         for trial in range(spec.n_trials):
-            world = build_pair_world(
-                spec.environment,
-                spec.distance_m,
-                spec.trial_seed(trial),
-                config=spec.config,
-                room=spec.room,
-            )
-            providers: Sequence = ()
-            if spec.interference_factory is not None:
-                providers = spec.interference_factory(
-                    world, world.rngs.generator("interference")
-                )
-            yield world.ranging_session(
-                AUTH, VOUCH, providers, engine=spec.engine
-            )
+            yield build_trial_session(spec, trial)
 
     if batch_size == 1:
         outcomes = [session.run() for session in sessions()]

@@ -1,0 +1,75 @@
+"""Streaming authentication service over the staged ranging pipeline.
+
+``repro.service`` turns the repo's pure pipeline into a deployable
+asyncio service (the flow PIANO's paper targets: an auth request arrives,
+the ranging protocol runs, accept/reject streams back within a speech
+interaction).  Four modules:
+
+* **protocol** — the wire messages (flat frozen dataclasses) and their
+  newline-delimited JSON codec, plus the request → trial mapping and the
+  PIANO aggregate decision rule;
+* **scheduler** — :class:`BatchingScheduler`, which coalesces the
+  deterministic DSP of concurrent in-flight rounds into stacked
+  ``render_arrivals`` + ``detect_batch`` passes on a DSP executor;
+* **server** — :class:`AuthService`: request validation, the per-round
+  stage drive (RNG stages on the request path, DSP via the scheduler),
+  decision streaming, and the JSON-lines TCP listener behind
+  ``python -m repro serve``;
+* **client** — :class:`AuthClient`, an async client multiplexing
+  concurrent requests over one connection.
+
+Contracts (details in ``docs/service.md``):
+
+* **Determinism** — a served decision is bit-identical to the same trial
+  executed by the CLI engine; round ``i`` of a request is trial
+  ``first_trial + i`` of the equivalent ``TrialSpec`` cell.
+* **Throughput** — concurrent requests share stacked DSP passes, so the
+  service inherits the batched hot path instead of paying
+  request-at-a-time kernel dispatch.
+* **Backpressure** — a bounded round queue; excess requests receive a
+  ``busy`` error instead of unbounded queueing.
+"""
+
+from repro.service.client import AuthClient, ServedAuthentication, ServiceError
+from repro.service.protocol import (
+    MESSAGE_TYPES,
+    ErrorReply,
+    Message,
+    ProtocolError,
+    RangingRequest,
+    RequestComplete,
+    RoundDecision,
+    aggregate_decision,
+    decode_message,
+    encode_message,
+    request_spec,
+    round_decision,
+)
+from repro.service.scheduler import (
+    BatchingScheduler,
+    SchedulerStats,
+    ServiceOverloaded,
+)
+from repro.service.server import AuthService
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "AuthClient",
+    "AuthService",
+    "BatchingScheduler",
+    "ErrorReply",
+    "Message",
+    "ProtocolError",
+    "RangingRequest",
+    "RequestComplete",
+    "RoundDecision",
+    "SchedulerStats",
+    "ServedAuthentication",
+    "ServiceError",
+    "ServiceOverloaded",
+    "aggregate_decision",
+    "decode_message",
+    "encode_message",
+    "request_spec",
+    "round_decision",
+]

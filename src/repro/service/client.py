@@ -1,0 +1,201 @@
+"""Async client for the streaming authentication service.
+
+One :class:`AuthClient` wraps one JSON-lines TCP connection and supports
+any number of **concurrent** requests over it: a single reader task
+routes every incoming message to its request by ``request_id``, so
+callers simply iterate their own stream:
+
+    async with await AuthClient.connect(host, port) as client:
+        async for message in client.request(distance_m=0.8, rounds=3):
+            ...   # RoundDecision ×3, then RequestComplete
+
+or collect the whole exchange in one await:
+
+    served = await client.authenticate(distance_m=0.8, rounds=3)
+    served.granted, served.rounds, served.complete
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import AsyncIterator
+
+from repro.service.protocol import (
+    ErrorReply,
+    Message,
+    ProtocolError,
+    RangingRequest,
+    RequestComplete,
+    RoundDecision,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["AuthClient", "ServedAuthentication", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an :class:`ErrorReply`."""
+
+    def __init__(self, reply: ErrorReply) -> None:
+        super().__init__(f"[{reply.code}] {reply.message}")
+        self.reply = reply
+
+    @property
+    def code(self) -> str:
+        return self.reply.code
+
+
+@dataclass
+class ServedAuthentication:
+    """Everything one request streamed back, collected."""
+
+    request: RangingRequest
+    rounds: list[RoundDecision] = field(default_factory=list)
+    complete: RequestComplete | None = None
+
+    @property
+    def granted(self) -> bool:
+        return self.complete is not None and self.complete.granted
+
+
+class AuthClient:
+    """One connection to an :class:`~repro.service.AuthService` listener."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[str, asyncio.Queue[Message]] = {}
+        self._ids = itertools.count()
+        self._id_prefix = f"c{os.getpid():x}"
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AuthClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "AuthClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def _next_request_id(self) -> str:
+        return f"{self._id_prefix}-{next(self._ids)}"
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------
+
+    async def request(
+        self,
+        *,
+        environment: str = "office",
+        distance_m: float = 1.0,
+        seed: int = 0,
+        rounds: int = 1,
+        first_trial: int = 0,
+        threshold_m: float = 1.0,
+        request_id: str | None = None,
+    ) -> AsyncIterator[Message]:
+        """Send one request; yield its replies as the server streams them.
+
+        The iterator ends after :class:`RequestComplete`; an
+        :class:`ErrorReply` raises :class:`ServiceError` instead.
+        """
+        if request_id is None:
+            request_id = self._next_request_id()
+        if request_id in self._pending:
+            raise ValueError(f"request id {request_id!r} already in flight")
+        message = RangingRequest(
+            request_id=request_id,
+            environment=environment,
+            distance_m=distance_m,
+            seed=seed,
+            rounds=rounds,
+            first_trial=first_trial,
+            threshold_m=threshold_m,
+        )
+        queue: asyncio.Queue[Message] = asyncio.Queue()
+        self._pending[request_id] = queue
+        try:
+            self._writer.write((encode_message(message) + "\n").encode())
+            await self._writer.drain()
+            while True:
+                reply = await queue.get()
+                if isinstance(reply, _ReaderFailed):
+                    raise reply.error
+                if isinstance(reply, ErrorReply):
+                    raise ServiceError(reply)
+                yield reply
+                if isinstance(reply, RequestComplete):
+                    return
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def authenticate(self, **request_fields) -> ServedAuthentication:
+        """Run one request to completion and collect the full stream."""
+        request_fields.setdefault("request_id", self._next_request_id())
+        served = ServedAuthentication(
+            request=RangingRequest(**request_fields)
+        )
+        async for message in self.request(**request_fields):
+            if isinstance(message, RoundDecision):
+                served.rounds.append(message)
+            elif isinstance(message, RequestComplete):
+                served.complete = message
+        return served
+
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                if not line.strip():
+                    continue
+                message = decode_message(line)
+                request_id = getattr(message, "request_id", "")
+                queue = self._pending.get(request_id)
+                if queue is not None:
+                    queue.put_nowait(message)
+                elif not request_id:
+                    # The server could not attribute its error to a
+                    # request (undecodable line) — fail everyone.
+                    raise ProtocolError(
+                        f"unattributed server error: {message}"
+                    )
+                # Replies for already-finished requests are dropped.
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            failure = _ReaderFailed(error)
+            for queue in self._pending.values():
+                queue.put_nowait(failure)
+
+
+@dataclass
+class _ReaderFailed:
+    """Sentinel routed to every pending request when the reader dies."""
+
+    error: Exception

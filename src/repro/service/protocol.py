@@ -1,0 +1,299 @@
+"""Wire protocol of the streaming authentication service.
+
+Four message types cross the wire, each a flat frozen dataclass with a
+newline-delimited JSON encoding (one message per line):
+
+* :class:`RangingRequest` — client → server: run ``rounds`` ACTION
+  ranging rounds for one (environment, distance, seed) cell slice and
+  apply the PIANO threshold rule;
+* :class:`RoundDecision` — server → client, one per completed round,
+  streamed as soon as the round's outcome exists;
+* :class:`RequestComplete` — server → client, the aggregate PIANO
+  grant/deny decision terminating the stream;
+* :class:`ErrorReply` — server → client when a request is malformed
+  (``bad-request``), rejected by backpressure (``busy``), or failed
+  unexpectedly (``internal``).  It also terminates the stream.
+
+Determinism contract: a request *is* a trial-engine cell description.
+:func:`request_spec` maps it to the exact
+:class:`~repro.eval.engine.TrialSpec` the CLI engine would run, and round
+``i`` executes trial ``first_trial + i`` of that spec through the same
+stage functions — so every served ``RoundDecision`` is bit-identical to
+the corresponding CLI/engine trial (asserted in
+``tests/test_service.py``).  JSON floats round-trip exactly (Python
+serializes the shortest repr and parses it back to the same IEEE double),
+so the wire layer preserves the bits too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Union
+
+from repro.core.ranging import RangingOutcome, RangingStatus
+from repro.eval.engine import TrialSpec
+
+__all__ = [
+    "ProtocolError",
+    "RangingRequest",
+    "RoundDecision",
+    "RequestComplete",
+    "ErrorReply",
+    "Message",
+    "MESSAGE_TYPES",
+    "encode_message",
+    "decode_message",
+    "request_spec",
+    "round_decision",
+    "aggregate_decision",
+]
+
+
+class ProtocolError(ValueError):
+    """A wire message could not be decoded or validated."""
+
+
+@dataclass(frozen=True)
+class RangingRequest:
+    """Client → server: authenticate by running ranging rounds.
+
+    Attributes
+    ----------
+    request_id:
+        Caller-chosen correlation token; every reply echoes it.
+    environment:
+        Registered environment preset name ("office", "home", ...).
+    distance_m:
+        True distance of the simulated device pair (the service runs on
+        the simulated substrate; a hardware deployment would drop this).
+    seed:
+        Cell-level root seed; with ``environment`` and ``distance_m`` it
+        fixes every round's randomness.
+    rounds:
+        How many ranging rounds to run (and stream back).  Rounds after
+        the first act as retries when earlier rounds return ⊥, matching
+        ``AuthConfig.max_retries`` semantics.
+    first_trial:
+        Trial index of the first round within the cell; round ``i`` is
+        trial ``first_trial + i``.  Lets callers address disjoint slices
+        of one cell (as the benchmark does).
+    threshold_m:
+        The PIANO acceptance threshold τ.
+    """
+
+    request_id: str
+    environment: str = "office"
+    distance_m: float = 1.0
+    seed: int = 0
+    rounds: int = 1
+    first_trial: int = 0
+    threshold_m: float = 1.0
+
+
+@dataclass(frozen=True)
+class RoundDecision:
+    """Server → client: the outcome of one completed ranging round."""
+
+    request_id: str
+    round_index: int
+    trial: int
+    status: str
+    distance_m: float | None
+    accepted: bool
+    elapsed_s: float
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class RequestComplete:
+    """Server → client: the aggregate PIANO decision; ends the stream."""
+
+    request_id: str
+    granted: bool
+    reason: str
+    decided_round: int | None
+    rounds: int
+    distance_m: float | None
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """Server → client: the request failed; ends the stream.
+
+    ``code`` is one of ``bad-request`` (malformed or unknown fields),
+    ``busy`` (backpressure: the round queue is full — retry later), or
+    ``internal``.
+    """
+
+    request_id: str
+    code: str
+    message: str
+
+
+Message = Union[RangingRequest, RoundDecision, RequestComplete, ErrorReply]
+
+#: Wire tag ↔ dataclass registry; the tag travels as the ``type`` field.
+MESSAGE_TYPES: dict[str, type] = {
+    "ranging_request": RangingRequest,
+    "round_decision": RoundDecision,
+    "request_complete": RequestComplete,
+    "error": ErrorReply,
+}
+_TYPE_TAGS = {cls: tag for tag, cls in MESSAGE_TYPES.items()}
+
+
+def _check_scalar(tag: str, name: str, value, annotation: str):
+    """Validate (and normalize) one decoded field against its annotation.
+
+    The messages are flat by design, so the full annotation vocabulary is
+    four scalars plus ``| None``.  ``bool`` is rejected where a number is
+    expected (it is an ``int`` subclass), and ints are accepted — and
+    upcast — for float fields, as JSON does not distinguish ``1``/``1.0``.
+    """
+    optional = "None" in annotation
+    if value is None:
+        if optional:
+            return None
+    elif "str" in annotation:
+        if isinstance(value, str):
+            return value
+    elif "bool" in annotation:
+        if isinstance(value, bool):
+            return value
+    elif "int" in annotation:
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+    elif "float" in annotation:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    raise ProtocolError(
+        f"bad type for {tag}.{name}: expected {annotation}, "
+        f"got {type(value).__name__}"
+    )
+
+
+def encode_message(message: Message) -> str:
+    """One JSON line (no trailing newline) for ``message``."""
+    tag = _TYPE_TAGS.get(type(message))
+    if tag is None:
+        raise ProtocolError(f"not a wire message: {type(message).__name__}")
+    payload = {"type": tag, **asdict(message)}
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def decode_message(line: str | bytes) -> Message:
+    """Parse one JSON line back into its message dataclass.
+
+    Strict by design: unknown ``type`` tags, missing fields, extra
+    fields, and mistyped scalars all raise :class:`ProtocolError`, so a
+    version drift between client and server fails loudly instead of
+    being silently defaulted.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object")
+    tag = payload.pop("type", None)
+    cls = MESSAGE_TYPES.get(tag)
+    if cls is None:
+        raise ProtocolError(f"unknown message type: {tag!r}")
+    expected = {f.name: f for f in fields(cls)}
+    missing = expected.keys() - payload.keys()
+    extra = payload.keys() - expected.keys()
+    if missing or extra:
+        raise ProtocolError(
+            f"bad fields for {tag}: missing={sorted(missing)}, "
+            f"unknown={sorted(extra)}"
+        )
+    checked = {
+        name: _check_scalar(tag, name, value, str(expected[name].type))
+        for name, value in payload.items()
+    }
+    return cls(**checked)
+
+
+# ----------------------------------------------------------------------
+# Request → trial mapping and decision rules
+# ----------------------------------------------------------------------
+
+
+def request_spec(request: RangingRequest) -> TrialSpec:
+    """The trial-engine cell a request addresses.
+
+    ``TrialSpec.trial_seed`` does not depend on ``n_trials``, so the
+    spec's trial count is presentation-only here; round ``i`` of the
+    request is trial ``first_trial + i`` of this cell under the exact
+    seed derivation the CLI engine uses.
+    """
+    return TrialSpec(
+        environment=request.environment,
+        distance_m=request.distance_m,
+        n_trials=request.first_trial + request.rounds,
+        seed=request.seed,
+    )
+
+
+def round_decision(
+    request: RangingRequest,
+    round_index: int,
+    trial: int,
+    outcome: RangingOutcome,
+) -> RoundDecision:
+    """Project one round's :class:`RangingOutcome` onto the wire."""
+    return RoundDecision(
+        request_id=request.request_id,
+        round_index=round_index,
+        trial=trial,
+        status=outcome.status.value,
+        distance_m=outcome.distance_m,
+        accepted=bool(
+            outcome.ok and outcome.require_distance() <= request.threshold_m
+        ),
+        elapsed_s=outcome.elapsed_s,
+        energy_j=outcome.energy_j,
+    )
+
+
+def aggregate_decision(
+    request: RangingRequest, decisions: list[RoundDecision]
+) -> RequestComplete:
+    """Fold streamed rounds into the PIANO grant/deny rule.
+
+    Mirrors :class:`~repro.core.piano.PianoAuthenticator`: rounds retry
+    only on ⊥ (``signal_not_present``), so the first round with any other
+    status decides — grant iff it completed within τ.  If every round
+    returned ⊥ (or no rounds ran), the request is denied with
+    ``signal_not_present``.
+    """
+    for decision in decisions:
+        if decision.status == RangingStatus.SIGNAL_NOT_PRESENT.value:
+            continue
+        if decision.status == RangingStatus.BLUETOOTH_UNAVAILABLE.value:
+            reason = "out_of_bluetooth_range"
+        elif decision.status == RangingStatus.CHANNEL_TAMPERED.value:
+            reason = "channel_tampered"
+        elif decision.accepted:
+            reason = "none"
+        else:
+            reason = "distance_exceeds_threshold"
+        return RequestComplete(
+            request_id=request.request_id,
+            granted=decision.accepted,
+            reason=reason,
+            decided_round=decision.round_index,
+            rounds=len(decisions),
+            distance_m=decision.distance_m,
+        )
+    return RequestComplete(
+        request_id=request.request_id,
+        granted=False,
+        reason="signal_not_present",
+        decided_round=None,
+        rounds=len(decisions),
+        distance_m=None,
+    )

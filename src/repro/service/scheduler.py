@@ -1,0 +1,320 @@
+"""Coalescing DSP scheduler: concurrent rounds share stacked kernel passes.
+
+The request path of the service (``repro.service.server``) runs the
+RNG-bound stages — ``negotiate``, ``schedule``, ``render_noise`` — inline
+on the event loop, then hands the round's pure-data remainder to a
+:class:`BatchingScheduler`.  The scheduler's collector task gathers every
+round pending at that moment (up to ``max_batch``, lingering
+``linger_ms`` for stragglers) and executes the deterministic half of the
+pipeline — :func:`~repro.sim.pipeline.render_arrivals` plus the stacked
+:func:`~repro.sim.pipeline.detect_batch` — as **one** batch on a DSP
+executor thread.  Concurrent in-flight requests therefore inherit the
+batched hot path's throughput exactly as ``--batch`` trials do, while the
+event loop stays free to prepare the next rounds.
+
+Determinism: batch composition is a scheduling decision, never a
+numerical one (invariant 2 of :mod:`repro.sim.pipeline`), so *which*
+requests happen to share a stacked pass cannot change any round's bits.
+The RNG-bound stages and ``exchange_and_decide`` never enter the
+scheduler — each stays on its own session's stream, in order.
+
+Backpressure: at most ``max_pending`` rounds may be queued; beyond that
+:meth:`BatchingScheduler.run_round` raises :class:`ServiceOverloaded`,
+which the server translates into a ``busy`` :class:`ErrorReply` so
+callers can retry instead of piling unbounded work onto the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sim.pipeline import (
+    DEFAULT_BATCH_SIZE,
+    DetectionPair,
+    NegotiationResult,
+    PlannedRender,
+    RenderedRecordings,
+    SessionContext,
+    detect_batch,
+    render_arrivals,
+)
+
+__all__ = ["BatchingScheduler", "SchedulerStats", "ServiceOverloaded"]
+
+
+class ServiceOverloaded(RuntimeError):
+    """The round queue is full — backpressure; the caller should retry."""
+
+
+@dataclass
+class SchedulerStats:
+    """Cumulative accounting of what the collector has dispatched."""
+
+    rounds: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    @property
+    def rounds_per_batch(self) -> float:
+        return self.rounds / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _PendingRound:
+    """One prepared round awaiting its stacked DSP pass."""
+
+    context: SessionContext
+    negotiation: NegotiationResult
+    planned: PlannedRender
+    future: "asyncio.Future[tuple[RenderedRecordings, DetectionPair]]" = field(
+        repr=False, default=None  # type: ignore[assignment]
+    )
+
+
+def _execute_rounds(
+    batch: Sequence[_PendingRound],
+) -> list[tuple[RenderedRecordings, DetectionPair]]:
+    """The deterministic DSP of a batch, on the executor thread.
+
+    Stacks the arrival convolutions across all 2·B captures and the
+    detection FFTs across all 2·B recordings — the same kernel calls
+    :class:`~repro.sim.pipeline.BatchedSessionRunner` makes for trial
+    batches.
+    """
+    recordings = render_arrivals([item.planned for item in batch])
+    detections = detect_batch(
+        [
+            (item.context, item.negotiation, rendered)
+            for item, rendered in zip(batch, recordings)
+        ]
+    )
+    return list(zip(recordings, detections))
+
+
+class BatchingScheduler:
+    """Batches concurrent rounds into stacked DSP passes.
+
+    Parameters
+    ----------
+    max_batch:
+        Rounds per stacked pass; ``None`` selects the pipeline's
+        :data:`~repro.sim.pipeline.DEFAULT_BATCH_SIZE`.  ``1`` disables
+        coalescing (each round renders and detects solo — the
+        "batching off" benchmark configuration); results are
+        bit-identical for every value.
+    linger_ms:
+        After the first pending round is picked up, how long the
+        collector waits for more before dispatching a partial batch.
+        Bounds worst-case added latency for a lone request.
+    max_pending:
+        Queue limit; further :meth:`run_round` calls raise
+        :class:`ServiceOverloaded` until the backlog drains.
+    dsp_workers:
+        Threads in the internally owned DSP executor.  The default of 1
+        serializes stacked passes (batches already use the kernels'
+        internal batching; more workers only help multi-core hosts).
+    executor:
+        Externally owned executor to use instead; it is not shut down by
+        :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        max_batch: int | None = None,
+        *,
+        linger_ms: float = 5.0,
+        max_pending: int = 256,
+        dsp_workers: int = 1,
+        executor: ThreadPoolExecutor | None = None,
+    ) -> None:
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending!r}")
+        if linger_ms < 0:
+            raise ValueError(f"linger_ms must be >= 0, got {linger_ms!r}")
+        if dsp_workers < 1:
+            raise ValueError(f"dsp_workers must be >= 1, got {dsp_workers!r}")
+        self.max_batch = max_batch or DEFAULT_BATCH_SIZE
+        self.linger_s = linger_ms / 1000.0
+        self.max_pending = max_pending
+        self.dsp_workers = dsp_workers
+        self.stats = SchedulerStats()
+        #: Rounds announced (via :meth:`announce`) but not yet submitted:
+        #: the collector lingers only while this is positive, so a lone
+        #: request never pays the linger and a burst fills its batch.
+        self._announced = 0
+        self._queue: asyncio.Queue[_PendingRound] = asyncio.Queue(
+            maxsize=max_pending
+        )
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._collector: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._collector is not None and not self._collector.done()
+
+    async def start(self) -> None:
+        """Start the collector task (idempotent)."""
+        if self.running:
+            return
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.dsp_workers, thread_name_prefix="repro-dsp"
+            )
+            self._owns_executor = True
+        self._collector = asyncio.get_running_loop().create_task(
+            self._collect()
+        )
+
+    async def stop(self) -> None:
+        """Cancel the collector and fail anything still queued."""
+        if self._collector is not None:
+            self._collector.cancel()
+            try:
+                await self._collector
+            except asyncio.CancelledError:
+                pass
+            self._collector = None
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if not item.future.done():
+                item.future.set_exception(
+                    ServiceOverloaded("scheduler stopped")
+                )
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "BatchingScheduler":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def announce(self, rounds: int) -> None:
+        """Declare that ``rounds`` submissions are on their way.
+
+        The collector lingers for stragglers only while announced rounds
+        remain outstanding, so batches fill under load without a lone
+        request ever waiting on a blind timeout.  Each announced round
+        must be consumed by a ``run_round(..., announced=True)`` call or
+        returned with :meth:`retract`.
+        """
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds!r}")
+        self._announced += rounds
+
+    def retract(self, rounds: int = 1) -> None:
+        """Return announced rounds that will never be submitted."""
+        self._announced = max(0, self._announced - rounds)
+
+    async def run_round(
+        self,
+        context: SessionContext,
+        negotiation: NegotiationResult,
+        planned: PlannedRender,
+        announced: bool = False,
+    ) -> tuple[RenderedRecordings, DetectionPair]:
+        """Queue one prepared round; resolves with its recordings+detections.
+
+        ``announced=True`` consumes one prior :meth:`announce` slot
+        (whether or not the enqueue succeeds).  Raises
+        :class:`ServiceOverloaded` immediately when ``max_pending``
+        rounds are already queued.
+        """
+        if announced:
+            self.retract(1)
+        future = asyncio.get_running_loop().create_future()
+        item = _PendingRound(context, negotiation, planned, future)
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            raise ServiceOverloaded(
+                f"round queue full ({self.max_pending} pending)"
+            ) from None
+        return await future
+
+    # ------------------------------------------------------------------
+    # Collector
+    # ------------------------------------------------------------------
+
+    async def _collect(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            await self._gather_more(batch)
+            await self._dispatch(batch)
+
+    async def _gather_more(self, batch: list[_PendingRound]) -> None:
+        """Fill ``batch`` up to ``max_batch`` from work that is ready now.
+
+        Announced-work-aware, timer-free lingering: while announced
+        rounds are outstanding, yield one cooperative loop cycle
+        (``sleep(0)``) so every ready producer task runs its prepare and
+        submits, then drain again.  The moment a full cycle produces
+        nothing new — the remaining announced rounds are blocked on
+        something slower than a loop cycle — the batch dispatches; an
+        isolated round therefore never waits at all, and ``linger_ms``
+        only caps the total gathering time under pathological load.
+        """
+        if self.max_batch <= 1:
+            return
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.linger_s
+        while len(batch) < self.max_batch:
+            # Drain whatever is already pending without yielding.
+            try:
+                while len(batch) < self.max_batch:
+                    batch.append(self._queue.get_nowait())
+                return
+            except asyncio.QueueEmpty:
+                pass
+            if self._announced <= 0 or loop.time() >= deadline:
+                return
+            # One cooperative cycle: every ready producer gets to run.
+            await asyncio.sleep(0)
+            if self._queue.empty():
+                return
+
+    async def _dispatch(self, batch: list[_PendingRound]) -> None:
+        # Rounds whose futures were abandoned (client disconnected, the
+        # request errored out) must not cost a stacked pass.
+        batch = [item for item in batch if not item.future.done()]
+        if not batch:
+            return
+        self.stats.rounds += len(batch)
+        self.stats.batches += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, _execute_rounds, batch
+            )
+        except asyncio.CancelledError:
+            for item in batch:
+                if not item.future.done():
+                    item.future.cancel()
+            raise
+        except BaseException as error:
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(
+                        RuntimeError(f"DSP batch failed: {error!r}")
+                    )
+            return
+        for item, result in zip(batch, results):
+            if not item.future.done():
+                item.future.set_result(result)

@@ -1,0 +1,355 @@
+"""The asyncio authentication service driving the staged pipeline.
+
+Request lifecycle (see ``docs/service.md`` for the full narrative):
+
+1. a :class:`~repro.service.protocol.RangingRequest` arrives (over the
+   newline-delimited-JSON TCP listener, or directly through
+   :meth:`AuthService.handle_request` for in-process callers);
+2. per round, the RNG-bound stages run on the request path —
+   :func:`~repro.eval.engine.build_trial_session` (the *same*
+   construction the CLI engine uses), then ``negotiate`` → ``schedule``
+   → ``render_noise`` on the session's own RNG stream;
+3. the round's deterministic DSP is submitted to the
+   :class:`~repro.service.scheduler.BatchingScheduler`, which coalesces
+   it with whatever other requests are in flight into one stacked
+   ``render_arrivals`` + ``detect_batch`` pass on the DSP executor;
+4. ``exchange_and_decide`` runs back on the request path, and the
+   round's :class:`~repro.service.protocol.RoundDecision` streams to the
+   caller immediately;
+5. after the last round, the aggregate
+   :class:`~repro.service.protocol.RequestComplete` (the PIANO
+   grant/deny rule) terminates the stream.
+
+Bit-identity: steps 2–4 execute the identical stage functions, in the
+identical per-session RNG order, as a CLI trial — batching across
+requests cannot change bits (pipeline invariant 2) — so a served
+decision equals the same trial run by ``python -m repro`` exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator
+
+from repro.acoustics.environment import get_environment
+from repro.core.ranging import RangingOutcome
+from repro.eval.engine import TrialSpec, build_trial_session
+from repro.sim.pipeline import (
+    exchange_and_decide,
+    negotiate,
+    render_noise,
+    schedule,
+)
+from repro.service.protocol import (
+    ErrorReply,
+    Message,
+    ProtocolError,
+    RangingRequest,
+    aggregate_decision,
+    decode_message,
+    encode_message,
+    request_spec,
+    round_decision,
+)
+from repro.service.scheduler import BatchingScheduler, ServiceOverloaded
+
+__all__ = ["AuthService", "MAX_ROUNDS_PER_REQUEST"]
+
+#: Upper bound on ``RangingRequest.rounds``: each round becomes an eager
+#: task, so the field must not let one request allocate unbounded work.
+#: Callers wanting more rounds slice the cell across requests with
+#: ``first_trial`` (as the benchmark does).
+MAX_ROUNDS_PER_REQUEST = 1024
+
+
+def _validate(request: RangingRequest) -> str | None:
+    """A human-readable problem with ``request``, or ``None`` if valid.
+
+    Also re-checks scalar types: the wire codec already enforces them,
+    but in-process callers construct :class:`RangingRequest` directly.
+    """
+    if not isinstance(request.request_id, str) or not request.request_id:
+        return "request_id must be a non-empty string"
+    if not isinstance(request.environment, str):
+        return "environment must be a string"
+    for name in ("rounds", "first_trial", "seed"):
+        value = getattr(request, name)
+        if not isinstance(value, int) or isinstance(value, bool):
+            return f"{name} must be an integer, got {value!r}"
+    for name in ("distance_m", "threshold_m"):
+        value = getattr(request, name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return f"{name} must be a number, got {value!r}"
+    if request.rounds < 1:
+        return f"rounds must be >= 1, got {request.rounds}"
+    if request.rounds > MAX_ROUNDS_PER_REQUEST:
+        return (
+            f"rounds must be <= {MAX_ROUNDS_PER_REQUEST} per request "
+            f"(slice the cell with first_trial), got {request.rounds}"
+        )
+    if request.first_trial < 0:
+        return f"first_trial must be >= 0, got {request.first_trial}"
+    if not request.distance_m > 0:
+        return f"distance_m must be positive, got {request.distance_m}"
+    if not request.threshold_m > 0:
+        return f"threshold_m must be positive, got {request.threshold_m}"
+    try:
+        get_environment(request.environment)
+    except KeyError:
+        return f"unknown environment {request.environment!r}"
+    return None
+
+
+class AuthService:
+    """Streaming proximity-authentication service over the staged pipeline.
+
+    Parameters
+    ----------
+    scheduler:
+        A pre-configured :class:`BatchingScheduler`; by default one is
+        built from the keyword knobs below.
+    batch_size:
+        Rounds per stacked DSP pass (``None`` = pipeline auto default,
+        ``1`` = per-round DSP — "batching off").
+    linger_ms:
+        Collector linger before dispatching a partial batch.
+    queue_limit:
+        Backpressure: max rounds queued for DSP before new requests are
+        rejected with a ``busy`` error.
+    dsp_workers:
+        Threads on the DSP executor (1 serializes stacked passes).
+    max_inflight_rounds:
+        Memory backpressure: max rounds being *prepared or detected* at
+        once.  A prepared round pins several MB of noise beds and
+        arrival plans until its DSP pass completes, so unbounded eager
+        execution under high concurrency trades throughput for memory
+        pressure; excess rounds simply wait their turn (they are not
+        rejected — ``queue_limit`` is the rejecting limit).
+
+    Use as an async context manager (starts/stops the scheduler), or
+    call :meth:`handle_request` directly — the scheduler lazily starts on
+    first use, but only ``async with`` guarantees executor shutdown.
+    """
+
+    def __init__(
+        self,
+        scheduler: BatchingScheduler | None = None,
+        *,
+        batch_size: int | None = None,
+        linger_ms: float = 5.0,
+        queue_limit: int = 256,
+        dsp_workers: int = 1,
+        max_inflight_rounds: int = 32,
+    ) -> None:
+        self.scheduler = scheduler or BatchingScheduler(
+            batch_size,
+            linger_ms=linger_ms,
+            max_pending=queue_limit,
+            dsp_workers=dsp_workers,
+        )
+        if max_inflight_rounds < 1:
+            raise ValueError(
+                f"max_inflight_rounds must be >= 1, got {max_inflight_rounds!r}"
+            )
+        self._round_gate = asyncio.Semaphore(max_inflight_rounds)
+
+    async def __aenter__(self) -> "AuthService":
+        await self.scheduler.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.scheduler.stop()
+
+    # ------------------------------------------------------------------
+    # Request handling (transport-independent)
+    # ------------------------------------------------------------------
+
+    async def handle_request(
+        self, request: RangingRequest
+    ) -> AsyncIterator[Message]:
+        """Serve one request, yielding the reply stream in order.
+
+        Yields ``rounds`` :class:`RoundDecision` messages (each as soon
+        as its round completes) followed by one :class:`RequestComplete`
+        — or an :class:`ErrorReply` terminating the stream early.
+        """
+        problem = _validate(request)
+        if problem is not None:
+            yield ErrorReply(
+                request_id=request.request_id,
+                code="bad-request",
+                message=problem,
+            )
+            return
+        await self.scheduler.start()
+
+        # Rounds are independent trials (each on its own world and RNG
+        # stream), so they execute eagerly in parallel: every round's
+        # RNG stages run as soon as the loop is free and its DSP joins
+        # the next stacked batch — a request's rounds typically share
+        # one pass.  Decisions still stream strictly in round order.
+        spec = request_spec(request)
+        loop = asyncio.get_running_loop()
+        self.scheduler.announce(request.rounds)
+        tasks = [
+            loop.create_task(
+                self._run_round(spec, request.first_trial + index)
+            )
+            for index in range(request.rounds)
+        ]
+        decisions = []
+        try:
+            for index, task in enumerate(tasks):
+                try:
+                    outcome = await task
+                except ServiceOverloaded as error:
+                    yield ErrorReply(
+                        request_id=request.request_id,
+                        code="busy",
+                        message=str(error),
+                    )
+                    return
+                decisions.append(
+                    round_decision(
+                        request, index, request.first_trial + index, outcome
+                    )
+                )
+                yield decisions[-1]
+        finally:
+            pending = [task for task in tasks if not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            # Reap exceptions of rounds completed after an early exit.
+            for task in tasks:
+                if task.done() and not task.cancelled():
+                    task.exception()
+        yield aggregate_decision(request, decisions)
+
+    async def _run_round(self, spec: TrialSpec, trial: int) -> RangingOutcome:
+        """One ranging round: RNG stages inline, DSP via the scheduler.
+
+        Consumes exactly one announced-round slot, whichever way it
+        exits (Bluetooth failure, queue overflow, cancellation).
+        """
+        submitted = False
+        try:
+            async with self._round_gate:
+                session = build_trial_session(spec, trial)
+                ctx, rng = session.context, session.rng
+                negotiation = negotiate(ctx, rng)
+                if negotiation.failure is not None:
+                    return negotiation.failure
+                plan = schedule(ctx, negotiation, rng)
+                planned = render_noise(ctx, plan, rng)
+                submitted = True
+                recordings, detections = await self.scheduler.run_round(
+                    ctx, negotiation, planned, announced=True
+                )
+                session.artifacts.recording_auth = recordings.auth
+                session.artifacts.recording_vouch = recordings.vouch
+                return exchange_and_decide(
+                    ctx, negotiation, detections, rng, session.artifacts
+                )
+        finally:
+            if not submitted:
+                self.scheduler.retract(1)
+
+    # ------------------------------------------------------------------
+    # TCP transport: newline-delimited JSON
+    # ------------------------------------------------------------------
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 8765
+    ) -> asyncio.AbstractServer:
+        """Start the JSON-lines TCP listener; returns the asyncio server.
+
+        Each connection may pipeline any number of requests; replies are
+        interleaved as rounds complete and correlated by ``request_id``.
+        """
+        return await asyncio.start_server(self._handle_connection, host, port)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_message(line)
+                except ProtocolError as error:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorReply("", "bad-request", str(error)),
+                    )
+                    continue
+                if not isinstance(message, RangingRequest):
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            getattr(message, "request_id", ""),
+                            "bad-request",
+                            "only ranging_request messages are accepted",
+                        ),
+                    )
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_request(message, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_request(
+        self,
+        request: RangingRequest,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            async for message in self.handle_request(request):
+                await self._send(writer, write_lock, message)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # pragma: no cover - defensive
+            try:
+                await self._send(
+                    writer,
+                    write_lock,
+                    ErrorReply(request.request_id, "internal", repr(error)),
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        message: Message,
+    ) -> None:
+        data = (encode_message(message) + "\n").encode("utf-8")
+        async with write_lock:
+            writer.write(data)
+            await writer.drain()

@@ -1,6 +1,6 @@
 """Staged ranging pipeline with cross-session batched execution.
 
-Three modules (see ``docs/pipeline.md``):
+Three modules (see ``docs/pipeline.md`` and ``docs/architecture.md``):
 
 * **stages** — the five typed, pure stages of one ACTION round
   (``negotiate`` → ``schedule`` → ``render`` → ``detect`` →
@@ -10,13 +10,38 @@ Three modules (see ``docs/pipeline.md``):
   negotiate/schedule/render_noise stages per trial (preserving each
   trial's RNG stream), renders every capture's arrivals in one stacked
   pass, and then runs detection as stacked window batches spanning every
-  recording of the batch;
+  recording of the batch (:func:`detect_batch`, the seam the streaming
+  service's scheduler shares);
 * **reference** — the pre-refactor monolithic loop, kept as the
   executable specification the equivalence tests and benchmarks compare
   against.
+
+Invariants every caller may rely on (and every change must preserve):
+
+1. **RNG ordering** — the stages consume a session's RNG stream in the
+   exact order the pre-refactor monolith drew it (signals → init
+   transfer → four audio-path latencies → interference → mixer noise and
+   channel draws → report transfer).  Stages that batch across sessions
+   (``render_arrivals``, ``detect_batch``) consume **no** RNG at all.
+2. **Bitwise batch invariance** — for a fixed per-session RNG stream,
+   serial staged execution, :func:`run_monolithic`, and
+   :class:`BatchedSessionRunner` at *any* batch size (or any grouping of
+   sessions into batches) produce bit-identical
+   :class:`~repro.core.ranging.RangingOutcome`\\ s.  Batch composition is
+   a scheduling decision, never a numerical one — this is what lets the
+   trial engine pick ``--batch`` freely and lets ``repro.service``
+   coalesce unrelated concurrent requests into one stacked DSP pass.
+3. **Pure data boundaries** — everything crossing a stage boundary is a
+   frozen dataclass (plus numpy arrays treated as immutable), so stages
+   can run on different substrates (process-pool workers, the service's
+   DSP executor thread) without hidden shared state.
 """
 
-from repro.sim.pipeline.batch import DEFAULT_BATCH_SIZE, BatchedSessionRunner
+from repro.sim.pipeline.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchedSessionRunner,
+    detect_batch,
+)
 from repro.sim.pipeline.reference import run_monolithic
 from repro.sim.pipeline.stages import (
     DetectionPair,
@@ -53,6 +78,7 @@ __all__ = [
     "SessionContext",
     "SessionTiming",
     "detect",
+    "detect_batch",
     "exchange_and_decide",
     "negotiate",
     "radiated_reference_waveform",

@@ -57,7 +57,7 @@ from repro.sim.pipeline.stages import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.session import RangingSession
 
-__all__ = ["BatchedSessionRunner", "DEFAULT_BATCH_SIZE"]
+__all__ = ["BatchedSessionRunner", "DEFAULT_BATCH_SIZE", "detect_batch"]
 
 #: Auto batch size: large enough that the shared coarse pass and the
 #: stacked arrival convolutions amortize their dispatch overhead, small
@@ -65,6 +65,89 @@ __all__ = ["BatchedSessionRunner", "DEFAULT_BATCH_SIZE"]
 #: footprint.  (FFT work is chunked independently — see the calibrated
 #: :attr:`repro.dsp.backend.DSPBackend.fft_chunk_windows`.)
 DEFAULT_BATCH_SIZE = 16
+
+
+def _stackable_action(action) -> bool:
+    """Whether a session's detection can join a stacked observe pass.
+
+    Strict type check: a subclass could override ``observe`` with instance
+    state the stacked pass would not see.  ACTION behaviour depends only
+    on the (hashable) protocol config, which is part of the stacking
+    group key.
+    """
+    return type(action) is ActionRanging
+
+
+def detect_batch(
+    entries: Sequence[
+        tuple[SessionContext, NegotiationResult, RenderedRecordings]
+    ],
+) -> list[DetectionPair]:
+    """Step IV for many independent sessions, stacked where possible.
+
+    ``entries`` pair each session's immutable context and negotiation
+    result with its rendered recordings.  Sessions running the stock
+    :class:`~repro.core.action.ActionRanging` are grouped by (protocol
+    config, recording lengths) and dispatched as one stacked
+    ``observe_batch`` pass per group; any other engine falls back to the
+    per-session :func:`~repro.sim.pipeline.stages.detect` stage.  Results
+    come back in input order and are bit-identical to running ``detect``
+    per entry — detection is a pure function of the recordings and the
+    FFT/power arithmetic is row-wise independent.
+
+    This is the shared batched-detection seam: both
+    :class:`BatchedSessionRunner` (stage-major trial batches) and the
+    streaming service's :class:`repro.service.BatchingScheduler`
+    (coalesced concurrent requests) route through it.
+    """
+    results: dict[int, DetectionPair] = {}
+    groups: dict[tuple, list[int]] = {}
+    for index, (ctx, negotiation, recordings) in enumerate(entries):
+        if _stackable_action(ctx.action):
+            key = (
+                ctx.config,
+                recordings.auth.shape[0],
+                recordings.vouch.shape[0],
+            )
+            groups.setdefault(key, []).append(index)
+        else:
+            results[index] = detect(ctx, negotiation, recordings)
+
+    for members in groups.values():
+        _detect_stacked_group([entries[i] for i in members], members, results)
+    return [results[index] for index in range(len(entries))]
+
+
+def _detect_stacked_group(
+    group: Sequence[tuple[SessionContext, NegotiationResult, RenderedRecordings]],
+    indices: Sequence[int],
+    results: dict[int, DetectionPair],
+) -> None:
+    """One stacked observe pass over a group's 2·B recordings."""
+    action = group[0][0].action
+    assert isinstance(action, ActionRanging)
+    recordings = np.stack(
+        [
+            recording
+            for _, _, rendered in group
+            for recording in (rendered.auth, rendered.vouch)
+        ]
+    )
+    scans = []
+    for ctx, negotiation, _ in group:
+        signals = negotiation.signals
+        scans.append(
+            (signals.auth, signals.vouch, ctx.auth_device.sample_rate)
+        )
+        scans.append(
+            (signals.vouch, signals.auth, ctx.vouch_device.sample_rate)
+        )
+    observations = action.observe_batch(recordings, scans)
+    for position, index in enumerate(indices):
+        results[index] = DetectionPair(
+            auth=observations[2 * position],
+            vouch=observations[2 * position + 1],
+        )
 
 
 class SessionLike(Protocol):
@@ -194,68 +277,11 @@ class BatchedSessionRunner:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _stackable(item: _PreparedSession) -> bool:
-        """Whether this session's detection can join a stacked pass.
-
-        Strict type check: a subclass could override ``observe`` with
-        instance state the stacked pass would not see.  ACTION behaviour
-        depends only on the (hashable) protocol config, which is part of
-        the stacking group key.
-        """
-        return type(item.session.context.action) is ActionRanging
-
-    def _detect_all(
-        self, prepared: Sequence[_PreparedSession]
-    ) -> list[DetectionPair]:
-        """Step IV for every prepared session, stacked where possible."""
-        results: dict[int, DetectionPair] = {}
-        groups: dict[tuple, list[_PreparedSession]] = {}
-        for item in prepared:
-            if self._stackable(item):
-                key = (
-                    item.session.context.config,
-                    item.recordings.auth.shape[0],
-                    item.recordings.vouch.shape[0],
-                )
-                groups.setdefault(key, []).append(item)
-            else:
-                results[item.index] = detect(
-                    item.session.context, item.negotiation, item.recordings
-                )
-
-        for members in groups.values():
-            self._detect_group(members, results)
-        return [results[item.index] for item in prepared]
-
-    @staticmethod
-    def _detect_group(
-        members: Iterable[_PreparedSession],
-        results: dict[int, DetectionPair],
-    ) -> None:
-        """One stacked observe pass over a group's 2·B recordings."""
-        members = list(members)
-        action = members[0].session.context.action
-        assert isinstance(action, ActionRanging)
-        recordings = np.stack(
+    def _detect_all(prepared: Sequence[_PreparedSession]) -> list[DetectionPair]:
+        """Step IV for every prepared session, via the shared stacked seam."""
+        return detect_batch(
             [
-                recording
-                for item in members
-                for recording in (item.recordings.auth, item.recordings.vouch)
+                (item.session.context, item.negotiation, item.recordings)
+                for item in prepared
             ]
         )
-        scans = []
-        for item in members:
-            ctx = item.session.context
-            signals = item.negotiation.signals
-            scans.append(
-                (signals.auth, signals.vouch, ctx.auth_device.sample_rate)
-            )
-            scans.append(
-                (signals.vouch, signals.auth, ctx.vouch_device.sample_rate)
-            )
-        observations = action.observe_batch(recordings, scans)
-        for position, item in enumerate(members):
-            results[item.index] = DetectionPair(
-                auth=observations[2 * position],
-                vouch=observations[2 * position + 1],
-            )

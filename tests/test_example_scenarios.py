@@ -42,7 +42,16 @@ def test_example_runs(name, capsys):
     assert out.strip(), f"example {name} printed nothing"
 
 
+def test_streaming_auth_example_runs(capsys):
+    # Takes an argv (the CI smoke job runs it with --quick) and drives
+    # an asyncio server, so it is exercised outside the no-args batch.
+    module = _load("streaming_auth")
+    module.main(["--quick"])
+    out = capsys.readouterr().out
+    assert "GRANT" in out and "DENY" in out
+
+
 def test_examples_directory_complete():
     present = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
-    assert set(EXAMPLES) | set(SLOW_EXAMPLES) <= present
-    assert len(present) >= 6
+    assert set(EXAMPLES) | set(SLOW_EXAMPLES) | {"streaming_auth"} <= present
+    assert len(present) >= 7
