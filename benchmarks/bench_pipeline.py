@@ -17,13 +17,24 @@ All variants under the default DSP backend produce bit-identical outcomes
 additionally records a per-stage wall-clock split of the ``batched_16``
 run (RNG-bound prepare, stacked render, stacked detect, decide), a
 per-DSP-backend ``batched_16`` row for every backend importable on the
-host (with its bit-compatibility probe result), and a **service**
-section: requests/s through the streaming auth service
-(``repro.service``) at concurrency 1/8/32 with DSP batching on and off —
-``c1`` with batching off is serial request-at-a-time handling, the
-baseline the concurrent batched rows must beat.  Run as a script to
-(re)generate ``BENCH_pipeline.json`` at the repository root so the perf
-trajectory of the hot path is tracked in-tree::
+host (with its bit-compatibility probe result), and two service
+sections:
+
+* **service** — requests/s through the streaming auth service
+  (``repro.service``) at concurrency 1/8/32 with DSP batching on and
+  off — ``c1`` with batching off is serial request-at-a-time handling,
+  the baseline the concurrent batched rows must beat;
+* **service_scaled** — sustained rounds/s and latency percentiles
+  (p50/p95/p99, closed-loop via :mod:`repro.service.loadgen`, over real
+  TCP) through the sharded front tier at 1/2/4 worker processes.  Every
+  row records the host's core count: the multi-process tier can only
+  beat one process when there are cores to spread over, so the
+  ``workers_4 >= 2x workers_1`` expectation is conditioned on a
+  multi-core host.
+
+Run as a script to (re)generate ``BENCH_pipeline.json`` at the
+repository root so the perf trajectory of the hot path is tracked
+in-tree::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--trials N] [--reps R]
 
@@ -56,6 +67,7 @@ from repro.sim.pipeline import BatchedSessionRunner, run_monolithic
 _DISTANCES = (0.5, 1.0, 1.5, 2.0)
 BATCH_SIZES = (1, 8, 16, 32)
 SERVICE_CONCURRENCY = (1, 8, 32)
+SERVICE_SCALED_WORKERS = (1, 2, 4)
 
 
 def _fig1_specs(trials: int) -> list[TrialSpec]:
@@ -225,6 +237,7 @@ def _measure_service(requests: int, rounds: int, reps: int) -> dict:
         rows[key] = {
             "concurrency": concurrency,
             "batching": batching,
+            "cpus": os.cpu_count(),
             "seconds": round(elapsed, 4),
             "requests_per_s": round(requests / elapsed, 3),
             "rounds_per_s": round(requests * rounds / elapsed, 3),
@@ -249,12 +262,106 @@ def _measure_service(requests: int, rounds: int, reps: int) -> dict:
     }
 
 
+def _measure_service_scaled(
+    worker_counts,
+    duration_s: float,
+    warmup_s: float,
+    concurrency: int,
+    rounds: int,
+) -> dict:
+    """Sustained rounds/s through the sharded front tier, over real TCP.
+
+    One closed-loop load-generation run (``repro.service.loadgen``, the
+    same engine behind ``tools/loadgen.py``) per worker count: fixed
+    ``concurrency`` always-busy virtual clients for ``duration_s``
+    measured seconds after ``warmup_s`` of discarded traffic.  Sessions
+    cycle so every shard sees traffic.  Latency percentiles are
+    request-completion latencies under that sustained load.
+
+    Every row records the host's core count — the multi-process tier
+    trades IPC overhead for parallelism, so its scaling is a function of
+    the cores actually available (a 1-core host measures the overhead
+    floor, not the speedup).
+    """
+    from repro.service import ShardedAuthServer
+    from repro.service.loadgen import run_loadgen
+
+    async def one(workers: int):
+        front = ShardedAuthServer(
+            workers, service_options={"queue_limit": 4096}
+        )
+        async with front:
+            server = await front.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await run_loadgen(
+                    "127.0.0.1",
+                    port,
+                    mode="closed",
+                    concurrency=concurrency,
+                    duration_s=duration_s,
+                    warmup_s=warmup_s,
+                    rounds=rounds,
+                    sessions=8,
+                    environment="office",
+                    distance_m=1.0,
+                    seed_base=0,
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    rows: dict[str, dict] = {}
+    for workers in worker_counts:
+        gc.collect()
+        report = asyncio.run(one(workers))
+        rows[f"workers_{workers}"] = {
+            "workers": workers,
+            "cpus": os.cpu_count(),
+            "mode": report.mode,
+            "concurrency": concurrency,
+            "duration_s": duration_s,
+            "warmup_s": warmup_s,
+            "requests": report.requests,
+            "busy": report.busy,
+            "failed": report.failed,
+            "requests_per_s": round(report.requests_per_s, 3),
+            "rounds_per_s": round(report.rounds_per_s, 3),
+            "latency_ms": {
+                key: round(value, 3)
+                for key, value in report.latency_ms.items()
+            },
+            "scheduler_stats": report.scheduler_stats,
+        }
+
+    base = rows[f"workers_{worker_counts[0]}"]["rounds_per_s"]
+    return {
+        "transport": "TCP via the sharded front tier (closed-loop loadgen)",
+        "rounds_per_request": rounds,
+        "rows": rows,
+        "speedups_vs_workers_1": {
+            key: round(row["rounds_per_s"] / base, 2)
+            for key, row in rows.items()
+            if row["workers"] != worker_counts[0]
+        },
+        "note": (
+            "scaling expectation (workers_4 >= 2x workers_1) applies on "
+            "a multi-core host; the cpus field records what this host "
+            "actually had"
+        ),
+    }
+
+
 def run_benchmark(
     trials: int = 2,
     reps: int = 2,
     service_requests: int = 32,
     service_rounds: int = 2,
     service_reps: int = 3,
+    scaled_duration_s: float = 5.0,
+    scaled_warmup_s: float = 1.0,
+    scaled_concurrency: int = 8,
+    include_scaled: bool = True,
 ) -> dict:
     """Measure every variant; returns the JSON-ready result document.
 
@@ -296,6 +403,19 @@ def run_benchmark(
         service = _measure_service(
             service_requests, service_rounds, service_reps
         )
+        # The sharded tier spawns real worker processes; they select the
+        # backend themselves (env var), so this runs outside use_backend.
+    service_scaled = (
+        _measure_service_scaled(
+            SERVICE_SCALED_WORKERS,
+            scaled_duration_s,
+            scaled_warmup_s,
+            scaled_concurrency,
+            service_rounds,
+        )
+        if include_scaled
+        else None
+    )
 
     def _rate(name):
         return results[name]["trials_per_s"]
@@ -319,6 +439,7 @@ def run_benchmark(
             specs, staged, reps, results["batched_16"]
         ),
         "service": service,
+        "service_scaled": service_scaled,
         "speedups": {
             "staged_vs_pre_refactor": round(
                 _rate("staged_per_session") / _rate("pre_refactor_per_session"), 2
@@ -339,7 +460,9 @@ def run_benchmark(
             "stacked window batches; service rows measure the asyncio "
             "auth service (repro.service) driving the same pipeline — "
             "decisions bit-identical to the CLI engine per "
-            "tests/test_service.py"
+            "tests/test_service.py; service_scaled rows measure the "
+            "sharded multi-process tier over TCP, bit-identical at any "
+            "worker count per tests/test_service_scaling.py"
         ),
     }
 
@@ -350,6 +473,9 @@ def test_pipeline_throughput(benchmark, quick):
             trials=2 if quick else 4,
             reps=1,
             service_requests=16 if quick else 32,
+            scaled_duration_s=2.0 if quick else 5.0,
+            scaled_warmup_s=0.5 if quick else 1.0,
+            include_scaled=not quick,
         ),
         rounds=1,
         iterations=1,
@@ -358,6 +484,11 @@ def test_pipeline_throughput(benchmark, quick):
     print(json.dumps(document["results"], indent=2))
     print("speedups:", document["speedups"])
     print("service:", json.dumps(document["service"]["rows"], indent=2))
+    if document["service_scaled"] is not None:
+        print(
+            "service_scaled:",
+            json.dumps(document["service_scaled"]["rows"], indent=2),
+        )
     assert document["speedups"]["batched_16_vs_pre_refactor"] > 1.0
     served = document["service"]["speedups_vs_serial_request_at_a_time"]
     assert served["c8_batched"] > 1.0
@@ -389,6 +520,29 @@ def main() -> int:
         ),
     )
     parser.add_argument(
+        "--scaled-duration",
+        type=float,
+        default=5.0,
+        help="measured seconds per service_scaled worker count",
+    )
+    parser.add_argument(
+        "--scaled-warmup",
+        type=float,
+        default=1.0,
+        help="discarded warmup seconds per service_scaled run",
+    )
+    parser.add_argument(
+        "--scaled-concurrency",
+        type=int,
+        default=8,
+        help="closed-loop virtual clients for the service_scaled rows",
+    )
+    parser.add_argument(
+        "--no-scaled",
+        action="store_true",
+        help="skip the service_scaled section (no worker processes)",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"),
         help="where to write the JSON document",
@@ -400,6 +554,10 @@ def main() -> int:
         service_requests=args.service_requests,
         service_rounds=args.service_rounds,
         service_reps=args.service_reps,
+        scaled_duration_s=args.scaled_duration,
+        scaled_warmup_s=args.scaled_warmup,
+        scaled_concurrency=args.scaled_concurrency,
+        include_scaled=not args.no_scaled,
     )
     Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
     print(json.dumps(document, indent=2))

@@ -172,7 +172,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1,
         metavar="N",
-        help="threads on the DSP executor (1 serializes stacked passes)",
+        help="workers on the DSP executor (1 serializes stacked passes)",
+    )
+    serve_parser.add_argument(
+        "--dsp-executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "where stacked DSP passes run: threads of the serving "
+            "process, or a spawned process pool (escapes the GIL on "
+            "multi-core hosts). Decisions are bit-identical either way."
+        ),
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes behind the endpoint; >1 starts the "
+            "shard-by-session front tier (each session's requests "
+            "always land on the same worker). Decisions are "
+            "bit-identical for any value."
+        ),
     )
     serve_parser.add_argument(
         "--max-inflight",
@@ -231,36 +253,79 @@ def _cmd_run(name: str, trials: int | None, seed: int, quick: bool) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the streaming authentication service until interrupted."""
-    import asyncio
+    """Run the streaming authentication service until interrupted.
 
-    from repro.service import AuthService
+    SIGINT/SIGTERM trigger a graceful drain: requests already streaming
+    finish, new requests are answered ``busy``, the DSP executors shut
+    down, and only then does the process exit.
+    """
+    import asyncio
+    import signal
+
+    from repro.service import AuthService, ShardedAuthServer
+
+    def _banner(server: "asyncio.AbstractServer", suffix: str) -> None:
+        for sock in server.sockets or ():
+            host, port = sock.getsockname()[:2]
+            print(
+                f"serving PIANO authentication on {host}:{port} "
+                f"({suffix}; JSON lines; Ctrl-C drains and stops)",
+                file=sys.stderr,
+            )
 
     async def run() -> None:
-        service = AuthService(
-            batch_size=args.batch,
-            linger_ms=args.linger_ms,
-            queue_limit=args.queue_limit,
-            dsp_workers=args.dsp_workers,
-            max_inflight_rounds=args.max_inflight,
-        )
-        async with service:
-            server = await service.serve(args.host, args.port)
-            sockets = server.sockets or ()
-            for sock in sockets:
-                host, port = sock.getsockname()[:2]
-                print(
-                    f"serving PIANO authentication on {host}:{port} "
-                    "(JSON lines; Ctrl-C to stop)",
-                    file=sys.stderr,
-                )
-            async with server:
-                await server.serve_forever()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+
+        if args.workers > 1:
+            front = ShardedAuthServer(
+                args.workers,
+                service_options=dict(
+                    batch_size=args.batch,
+                    linger_ms=args.linger_ms,
+                    queue_limit=args.queue_limit,
+                    dsp_workers=args.dsp_workers,
+                    dsp_executor=args.dsp_executor,
+                    max_inflight_rounds=args.max_inflight,
+                ),
+            )
+            async with front:
+                server = await front.serve(args.host, args.port)
+                _banner(server, f"{args.workers} shard workers")
+                async with server:
+                    await stop.wait()
+                    print(
+                        "\ndraining: finishing in-flight requests",
+                        file=sys.stderr,
+                    )
+                    await front.drain()
+        else:
+            service = AuthService(
+                batch_size=args.batch,
+                linger_ms=args.linger_ms,
+                queue_limit=args.queue_limit,
+                dsp_workers=args.dsp_workers,
+                dsp_executor=args.dsp_executor,
+                max_inflight_rounds=args.max_inflight,
+            )
+            async with service:
+                server = await service.serve(args.host, args.port)
+                _banner(server, "single process")
+                async with server:
+                    await stop.wait()
+                    print(
+                        "\ndraining: finishing in-flight requests",
+                        file=sys.stderr,
+                    )
+                    await service.drain()
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("\nshutting down", file=sys.stderr)
+    print("drained; bye", file=sys.stderr)
     return 0
 
 

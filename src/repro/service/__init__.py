@@ -3,34 +3,48 @@
 ``repro.service`` turns the repo's pure pipeline into a deployable
 asyncio service (the flow PIANO's paper targets: an auth request arrives,
 the ranging protocol runs, accept/reject streams back within a speech
-interaction).  Four modules:
+interaction).  Seven modules:
 
 * **protocol** — the wire messages (flat frozen dataclasses) and their
   newline-delimited JSON codec, plus the request → trial mapping and the
   PIANO aggregate decision rule;
 * **scheduler** — :class:`BatchingScheduler`, which coalesces the
   deterministic DSP of concurrent in-flight rounds into stacked
-  ``render_arrivals`` + ``detect_batch`` passes on a DSP executor;
+  ``render_arrivals`` + ``detect_batch`` passes on a DSP executor
+  (threads of the serving process, or a spawned process pool);
+* **executor** — :class:`RoundDSPJob`, the picklable projection of a
+  round's deterministic DSP, and the batch function that executes it
+  identically on any substrate;
 * **server** — :class:`AuthService`: request validation, the per-round
   stage drive (RNG stages on the request path, DSP via the scheduler),
-  decision streaming, and the JSON-lines TCP listener behind
-  ``python -m repro serve``;
+  decision streaming, graceful draining, and the JSON-lines TCP/unix
+  listeners behind ``python -m repro serve``;
+* **shard** — :class:`ShardedAuthServer`, the multi-process front tier:
+  one TCP endpoint, N worker processes, consistent session → shard
+  routing (``python -m repro serve --workers N``);
 * **client** — :class:`AuthClient`, an async client multiplexing
-  concurrent requests over one connection.
+  concurrent requests over one connection;
+* **loadgen** — open- and closed-loop load generation with latency
+  percentiles (``tools/loadgen.py`` and the scaling benchmark).
 
 Contracts (details in ``docs/service.md``):
 
 * **Determinism** — a served decision is bit-identical to the same trial
-  executed by the CLI engine; round ``i`` of a request is trial
+  executed by the CLI engine, at any ``--workers`` count and under
+  either DSP executor; round ``i`` of a request is trial
   ``first_trial + i`` of the equivalent ``TrialSpec`` cell.
 * **Throughput** — concurrent requests share stacked DSP passes, so the
   service inherits the batched hot path instead of paying
   request-at-a-time kernel dispatch.
 * **Backpressure** — a bounded round queue; excess requests receive a
   ``busy`` error instead of unbounded queueing.
+* **Graceful shutdown** — draining finishes accepted streams, answers
+  new requests with ``busy``, and closes the DSP executors.
 """
 
 from repro.service.client import AuthClient, ServedAuthentication, ServiceError
+from repro.service.executor import RoundDSPJob, execute_dsp_jobs, round_dsp_job
+from repro.service.loadgen import LoadgenReport, run_loadgen
 from repro.service.protocol import (
     MESSAGE_TYPES,
     ErrorReply,
@@ -39,6 +53,8 @@ from repro.service.protocol import (
     RangingRequest,
     RequestComplete,
     RoundDecision,
+    StatsReply,
+    StatsRequest,
     aggregate_decision,
     decode_message,
     encode_message,
@@ -46,30 +62,47 @@ from repro.service.protocol import (
     round_decision,
 )
 from repro.service.scheduler import (
+    DSP_EXECUTOR_KINDS,
     BatchingScheduler,
     SchedulerStats,
     ServiceOverloaded,
 )
 from repro.service.server import AuthService
+from repro.service.shard import (
+    ShardedAuthServer,
+    session_key,
+    shard_for_session,
+)
 
 __all__ = [
+    "DSP_EXECUTOR_KINDS",
     "MESSAGE_TYPES",
     "AuthClient",
     "AuthService",
     "BatchingScheduler",
     "ErrorReply",
+    "LoadgenReport",
     "Message",
     "ProtocolError",
     "RangingRequest",
     "RequestComplete",
+    "RoundDSPJob",
     "RoundDecision",
     "SchedulerStats",
     "ServedAuthentication",
     "ServiceError",
     "ServiceOverloaded",
+    "ShardedAuthServer",
+    "StatsReply",
+    "StatsRequest",
     "aggregate_decision",
     "decode_message",
     "encode_message",
+    "execute_dsp_jobs",
     "request_spec",
     "round_decision",
+    "round_dsp_job",
+    "run_loadgen",
+    "session_key",
+    "shard_for_session",
 ]

@@ -30,6 +30,8 @@ from repro.service.protocol import (
     RangingRequest,
     RequestComplete,
     RoundDecision,
+    StatsReply,
+    StatsRequest,
     decode_message,
     encode_message,
 )
@@ -80,6 +82,12 @@ class AuthClient:
     @classmethod
     async def connect(cls, host: str, port: int) -> "AuthClient":
         reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    @classmethod
+    async def connect_unix(cls, path: str) -> "AuthClient":
+        """Connect to a unix-domain-socket listener (a shard worker)."""
+        reader, writer = await asyncio.open_unix_connection(path)
         return cls(reader, writer)
 
     async def __aenter__(self) -> "AuthClient":
@@ -148,6 +156,39 @@ class AuthClient:
                 yield reply
                 if isinstance(reply, RequestComplete):
                     return
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def stats(self) -> list[StatsReply]:
+        """Fetch cumulative scheduler statistics, one reply per shard.
+
+        The first reply's ``shards`` field says how many replies the
+        server(s) will send; the list comes back sorted by shard index.
+        A single-process server returns exactly one reply.
+        """
+        request_id = self._next_request_id()
+        if request_id in self._pending:
+            raise ValueError(f"request id {request_id!r} already in flight")
+        queue: asyncio.Queue[Message] = asyncio.Queue()
+        self._pending[request_id] = queue
+        try:
+            line = encode_message(StatsRequest(request_id=request_id))
+            self._writer.write((line + "\n").encode())
+            await self._writer.drain()
+            replies: list[StatsReply] = []
+            while True:
+                reply = await queue.get()
+                if isinstance(reply, _ReaderFailed):
+                    raise reply.error
+                if isinstance(reply, ErrorReply):
+                    raise ServiceError(reply)
+                if not isinstance(reply, StatsReply):
+                    raise ProtocolError(
+                        f"unexpected stats reply: {type(reply).__name__}"
+                    )
+                replies.append(reply)
+                if len(replies) >= reply.shards:
+                    return sorted(replies, key=lambda r: r.shard)
         finally:
             self._pending.pop(request_id, None)
 

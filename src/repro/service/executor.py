@@ -1,0 +1,137 @@
+"""Picklable DSP jobs: the heavy phase of a round, on any substrate.
+
+The deterministic half of a ranging round — the stacked
+:func:`~repro.sim.pipeline.render_arrivals` pass plus the stacked
+detection (:func:`~repro.sim.pipeline.detect_batch_grouped`) — consumes
+nothing but pure data: planned capture jobs, reference signals, the
+protocol config, and two sample rates.  :class:`RoundDSPJob` packages
+exactly that, and :func:`execute_dsp_jobs` executes a batch of them.
+
+Because a job is plain picklable data, the same function runs unchanged
+on a thread of the serving process (the PR 4 configuration) **or** inside
+a ``ProcessPoolExecutor`` worker — the seam the
+:class:`~repro.service.scheduler.BatchingScheduler` uses to put the heavy
+DSP on real cores while the asyncio loop only does protocol, coalescing,
+and decide.  Worker processes rebuild the (stateless, config-determined)
+:class:`~repro.core.action.ActionRanging` from the job's config via a
+per-process cache; pipeline invariant 2 plus the config-only behaviour of
+ACTION make the result bit-identical to the in-process path, which the
+service tests assert against ``run_cell_spec``.
+
+The DSP *backend* selection inside a worker follows the normal rules
+(:mod:`repro.dsp.backend`): explicit ``set_backend`` does not cross the
+process boundary, but the ``REPRO_DSP_BACKEND`` environment variable does
+— the CLI sets it before any pool exists, so spawned workers inherit the
+choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.action import ActionRanging, SignalPair
+from repro.core.config import ProtocolConfig
+from repro.sim.pipeline import (
+    DetectionPair,
+    NegotiationResult,
+    PlannedRender,
+    RenderedRecordings,
+    SessionContext,
+    detect_batch_grouped,
+    render_arrivals,
+)
+
+__all__ = ["RoundDSPJob", "round_dsp_job", "execute_dsp_jobs"]
+
+
+@dataclass(frozen=True)
+class RoundDSPJob:
+    """Everything the deterministic DSP of one round needs, as pure data.
+
+    ``planned`` carries the RNG-phase output (noise beds + realized
+    arrival plans); the rest parameterizes the stacked detection.  No
+    session, device, or world object crosses this boundary, so the job
+    pickles cheaply enough to ship to a worker process.
+    """
+
+    planned: PlannedRender
+    signals: SignalPair
+    config: ProtocolConfig
+    auth_sample_rate: float
+    vouch_sample_rate: float
+
+
+def round_dsp_job(
+    ctx: SessionContext,
+    negotiation: NegotiationResult,
+    planned: PlannedRender,
+) -> RoundDSPJob | None:
+    """Project a prepared round onto a :class:`RoundDSPJob`.
+
+    Returns ``None`` when the session's ranging engine is not the stock
+    :class:`~repro.core.action.ActionRanging` — a subclass could carry
+    instance state a rebuilt action would not see, so such rounds must
+    stay on the in-process path (the scheduler falls back to its thread
+    executor for the whole batch).
+    """
+    if type(ctx.action) is not ActionRanging:
+        return None
+    return RoundDSPJob(
+        planned=planned,
+        signals=negotiation.signals,
+        config=ctx.config,
+        auth_sample_rate=ctx.auth_device.sample_rate,
+        vouch_sample_rate=ctx.vouch_device.sample_rate,
+    )
+
+
+#: Per-process ActionRanging cache: one action per protocol config, so a
+#: long-lived pool worker builds the frequency plan and detector once.
+_ACTIONS: dict[ProtocolConfig, ActionRanging] = {}
+
+
+def _action_for(config: ProtocolConfig) -> ActionRanging:
+    action = _ACTIONS.get(config)
+    if action is None:
+        action = _ACTIONS[config] = ActionRanging(config)
+    return action
+
+
+def execute_dsp_jobs(
+    jobs: Sequence[RoundDSPJob],
+) -> list[tuple[RenderedRecordings, DetectionPair]]:
+    """Run a batch of DSP jobs: one stacked render + one stacked detect.
+
+    The exact kernel calls the in-process scheduler path makes —
+    ``render_arrivals`` over all 2·B captures, then
+    ``detect_batch_grouped`` over all 2·B recordings — so results are
+    bit-identical wherever this executes (thread or worker process).
+    Results come back in job order.
+    """
+    recordings = render_arrivals([job.planned for job in jobs])
+    detections = detect_batch_grouped(
+        [
+            (
+                _action_for(job.config),
+                job.signals,
+                job.auth_sample_rate,
+                job.vouch_sample_rate,
+                rendered,
+            )
+            for job, rendered in zip(jobs, recordings)
+        ]
+    )
+    return list(zip(recordings, detections))
+
+
+def warm_worker() -> str:
+    """Force a pool worker to import and select its DSP backend.
+
+    Submitted once per worker at scheduler start so the first real batch
+    does not pay the import + backend-probe latency.  Returns the chosen
+    backend name (handy in logs and tests).
+    """
+    from repro.dsp.backend import get_backend
+
+    return get_backend().name

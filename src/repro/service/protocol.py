@@ -14,6 +14,15 @@ newline-delimited JSON encoding (one message per line):
   (``bad-request``), rejected by backpressure (``busy``), or failed
   unexpectedly (``internal``).  It also terminates the stream.
 
+Two further messages carry operational telemetry rather than
+authentication traffic: :class:`StatsRequest` asks for the server's
+cumulative scheduler statistics and :class:`StatsReply` answers it — one
+reply per shard when the sharded front tier is serving (``shards`` tells
+the client how many replies to expect; ``repro.service.AuthClient.stats``
+collects them).  Stats otherwise lost at process exit (batch-size
+histogram, linger waits, queue high-water) thereby become observable to
+load generators and operators over the same wire.
+
 Determinism contract: a request *is* a trial-engine cell description.
 :func:`request_spec` maps it to the exact
 :class:`~repro.eval.engine.TrialSpec` the CLI engine would run, and round
@@ -40,6 +49,8 @@ __all__ = [
     "RoundDecision",
     "RequestComplete",
     "ErrorReply",
+    "StatsRequest",
+    "StatsReply",
     "Message",
     "MESSAGE_TYPES",
     "encode_message",
@@ -131,7 +142,44 @@ class ErrorReply:
     message: str
 
 
-Message = Union[RangingRequest, RoundDecision, RequestComplete, ErrorReply]
+@dataclass(frozen=True)
+class StatsRequest:
+    """Client → server: report cumulative scheduler statistics."""
+
+    request_id: str
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """Server → client: one shard's cumulative scheduler statistics.
+
+    ``shard``/``shards`` locate the reply within the sharded front tier
+    (``0``/``1`` for a single-process server); a client should collect
+    ``shards`` replies per request.  ``batch_histogram`` is the
+    batch-size histogram rendered as ``"size:count,..."`` (ascending by
+    size) — the wire messages are flat scalars by design, so the
+    histogram travels as text.
+    """
+
+    request_id: str
+    shard: int
+    shards: int
+    rounds: int
+    batches: int
+    largest_batch: int
+    queue_high_water: int
+    linger_wait_s: float
+    batch_histogram: str
+
+
+Message = Union[
+    RangingRequest,
+    RoundDecision,
+    RequestComplete,
+    ErrorReply,
+    StatsRequest,
+    StatsReply,
+]
 
 #: Wire tag ↔ dataclass registry; the tag travels as the ``type`` field.
 MESSAGE_TYPES: dict[str, type] = {
@@ -139,6 +187,8 @@ MESSAGE_TYPES: dict[str, type] = {
     "round_decision": RoundDecision,
     "request_complete": RequestComplete,
     "error": ErrorReply,
+    "stats_request": StatsRequest,
+    "stats_reply": StatsReply,
 }
 _TYPE_TAGS = {cls: tag for tag, cls in MESSAGE_TYPES.items()}
 

@@ -27,10 +27,16 @@ callers can retry instead of piling unbounded work onto the loop.
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.service.executor import (
+    execute_dsp_jobs,
+    round_dsp_job,
+    warm_worker,
+)
 from repro.sim.pipeline import (
     DEFAULT_BATCH_SIZE,
     DetectionPair,
@@ -42,7 +48,18 @@ from repro.sim.pipeline import (
     render_arrivals,
 )
 
-__all__ = ["BatchingScheduler", "SchedulerStats", "ServiceOverloaded"]
+__all__ = [
+    "BatchingScheduler",
+    "DSP_EXECUTOR_KINDS",
+    "SchedulerStats",
+    "ServiceOverloaded",
+]
+
+#: Accepted values of the scheduler's ``dsp_executor`` knob (the CLI's
+#: ``--dsp-executor``): ``thread`` keeps stacked passes on executor
+#: threads of the serving process; ``process`` ships them to a
+#: ``ProcessPoolExecutor`` so the DSP runs on real cores.
+DSP_EXECUTOR_KINDS = ("thread", "process")
 
 
 class ServiceOverloaded(RuntimeError):
@@ -51,15 +68,49 @@ class ServiceOverloaded(RuntimeError):
 
 @dataclass
 class SchedulerStats:
-    """Cumulative accounting of what the collector has dispatched."""
+    """Cumulative accounting of what the collector has dispatched.
+
+    Beyond the dispatch totals, three operational signals feed the
+    ``stats`` wire message (and through it the load generator's report):
+    the batch-size histogram (how well traffic actually coalesced), the
+    total linger wait (latency the collector added while gathering
+    stragglers), and the queue-depth high-water mark (how close the
+    service came to ``max_pending`` backpressure).
+    """
 
     rounds: int = 0
     batches: int = 0
     largest_batch: int = 0
+    #: ``{batch size: dispatch count}`` over every dispatched batch.
+    batch_sizes: dict[int, int] = field(default_factory=dict)
+    #: Total seconds batches spent gathering after their first round was
+    #: picked up — the latency cost of coalescing.
+    linger_wait_s: float = 0.0
+    #: Highest number of rounds ever pending in the queue at once.
+    queue_high_water: int = 0
 
     @property
     def rounds_per_batch(self) -> float:
         return self.rounds / self.batches if self.batches else 0.0
+
+    def record_batch(self, size: int, waited_s: float) -> None:
+        """Account one dispatched batch of ``size`` rounds."""
+        self.rounds += size
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, size)
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+        self.linger_wait_s += waited_s
+
+    def histogram_text(self) -> str:
+        """The batch-size histogram as ``"size:count,..."`` (sorted).
+
+        The flat wire codec carries only scalars, so the ``stats_reply``
+        message ships the histogram in this compact string form.
+        """
+        return ",".join(
+            f"{size}:{count}"
+            for size, count in sorted(self.batch_sizes.items())
+        )
 
 
 @dataclass
@@ -113,12 +164,27 @@ class BatchingScheduler:
         Queue limit; further :meth:`run_round` calls raise
         :class:`ServiceOverloaded` until the backlog drains.
     dsp_workers:
-        Threads in the internally owned DSP executor.  The default of 1
-        serializes stacked passes (batches already use the kernels'
-        internal batching; more workers only help multi-core hosts).
+        Workers in the internally owned DSP executor — threads for
+        ``dsp_executor="thread"``, processes for ``"process"``.  The
+        default of 1 serializes stacked passes (batches already use the
+        kernels' internal batching; more workers only help multi-core
+        hosts).
+    dsp_executor:
+        ``"thread"`` (default) runs stacked passes on executor threads of
+        the serving process — zero serialization cost, but the GIL keeps
+        render/detect from overlapping the request path on most hosts.
+        ``"process"`` ships each batch as picklable
+        :class:`~repro.service.executor.RoundDSPJob`\\ s to a
+        ``ProcessPoolExecutor`` (spawned, warmed at :meth:`start`), so
+        the heavy phase runs on real cores while the asyncio loop only
+        does protocol, coalescing, and decide.  Decisions are
+        bit-identical either way.  Rounds whose ranging engine is not the
+        stock ACTION cannot be shipped and fall back to an in-process
+        thread for their batch.
     executor:
         Externally owned executor to use instead; it is not shut down by
-        :meth:`stop`.
+        :meth:`stop`.  With ``dsp_executor="process"`` it must be a
+        process pool whose workers can import :mod:`repro`.
     """
 
     def __init__(
@@ -128,7 +194,8 @@ class BatchingScheduler:
         linger_ms: float = 5.0,
         max_pending: int = 256,
         dsp_workers: int = 1,
-        executor: ThreadPoolExecutor | None = None,
+        dsp_executor: str = "thread",
+        executor: Executor | None = None,
     ) -> None:
         if max_batch is not None and max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
@@ -138,10 +205,16 @@ class BatchingScheduler:
             raise ValueError(f"linger_ms must be >= 0, got {linger_ms!r}")
         if dsp_workers < 1:
             raise ValueError(f"dsp_workers must be >= 1, got {dsp_workers!r}")
+        if dsp_executor not in DSP_EXECUTOR_KINDS:
+            raise ValueError(
+                f"dsp_executor must be one of {DSP_EXECUTOR_KINDS}, "
+                f"got {dsp_executor!r}"
+            )
         self.max_batch = max_batch or DEFAULT_BATCH_SIZE
         self.linger_s = linger_ms / 1000.0
         self.max_pending = max_pending
         self.dsp_workers = dsp_workers
+        self.dsp_executor = dsp_executor
         self.stats = SchedulerStats()
         #: Rounds announced (via :meth:`announce`) but not yet submitted:
         #: the collector lingers only while this is positive, so a lone
@@ -163,13 +236,32 @@ class BatchingScheduler:
         return self._collector is not None and not self._collector.done()
 
     async def start(self) -> None:
-        """Start the collector task (idempotent)."""
+        """Start the collector task (idempotent).
+
+        In ``process`` mode this spawns and warms the worker pool before
+        the first round arrives, so the first stacked pass pays no
+        worker-import latency.
+        """
         if self.running:
             return
         if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.dsp_workers, thread_name_prefix="repro-dsp"
-            )
+            if self.dsp_executor == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.dsp_workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+                loop = asyncio.get_running_loop()
+                await asyncio.gather(
+                    *(
+                        loop.run_in_executor(self._executor, warm_worker)
+                        for _ in range(self.dsp_workers)
+                    )
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.dsp_workers,
+                    thread_name_prefix="repro-dsp",
+                )
             self._owns_executor = True
         self._collector = asyncio.get_running_loop().create_task(
             self._collect()
@@ -246,6 +338,9 @@ class BatchingScheduler:
             raise ServiceOverloaded(
                 f"round queue full ({self.max_pending} pending)"
             ) from None
+        self.stats.queue_high_water = max(
+            self.stats.queue_high_water, self._queue.qsize()
+        )
         return await future
 
     # ------------------------------------------------------------------
@@ -253,10 +348,12 @@ class BatchingScheduler:
     # ------------------------------------------------------------------
 
     async def _collect(self) -> None:
+        loop = asyncio.get_running_loop()
         while True:
             batch = [await self._queue.get()]
+            picked_up = loop.time()
             await self._gather_more(batch)
-            await self._dispatch(batch)
+            await self._dispatch(batch, loop.time() - picked_up)
 
     async def _gather_more(self, batch: list[_PendingRound]) -> None:
         """Fill ``batch`` up to ``max_batch`` from work that is ready now.
@@ -289,20 +386,42 @@ class BatchingScheduler:
             if self._queue.empty():
                 return
 
-    async def _dispatch(self, batch: list[_PendingRound]) -> None:
+    def _submit_batch(
+        self, batch: list[_PendingRound]
+    ) -> "asyncio.Future[list[tuple[RenderedRecordings, DetectionPair]]]":
+        """Hand one batch to the configured executor.
+
+        In ``process`` mode the batch is projected onto picklable
+        :class:`~repro.service.executor.RoundDSPJob`\\ s first; a batch
+        containing a round the projection rejects (non-stock ranging
+        engine) falls back to an in-process thread, preserving behaviour
+        for exotic engines without poisoning the pool.
+        """
+        loop = asyncio.get_running_loop()
+        if self.dsp_executor == "process":
+            jobs = [
+                round_dsp_job(item.context, item.negotiation, item.planned)
+                for item in batch
+            ]
+            if all(job is not None for job in jobs):
+                return loop.run_in_executor(
+                    self._executor, execute_dsp_jobs, jobs
+                )
+            # ``None`` = the loop's default thread pool.
+            return loop.run_in_executor(None, _execute_rounds, batch)
+        return loop.run_in_executor(self._executor, _execute_rounds, batch)
+
+    async def _dispatch(
+        self, batch: list[_PendingRound], waited_s: float = 0.0
+    ) -> None:
         # Rounds whose futures were abandoned (client disconnected, the
         # request errored out) must not cost a stacked pass.
         batch = [item for item in batch if not item.future.done()]
         if not batch:
             return
-        self.stats.rounds += len(batch)
-        self.stats.batches += 1
-        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-        loop = asyncio.get_running_loop()
+        self.stats.record_batch(len(batch), waited_s)
         try:
-            results = await loop.run_in_executor(
-                self._executor, _execute_rounds, batch
-            )
+            results = await self._submit_batch(batch)
         except asyncio.CancelledError:
             for item in batch:
                 if not item.future.done():

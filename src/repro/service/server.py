@@ -24,6 +24,15 @@ Bit-identity: steps 2–4 execute the identical stage functions, in the
 identical per-session RNG order, as a CLI trial — batching across
 requests cannot change bits (pipeline invariant 2) — so a served
 decision equals the same trial run by ``python -m repro`` exactly.
+
+Lifecycle: :meth:`AuthService.begin_draining` flips the service into
+drain mode — requests already streaming finish normally while new ones
+are answered with a ``busy`` error — and :meth:`AuthService.drain` waits
+for the in-flight work to empty, then stops the scheduler.  The CLI wires
+this to SIGINT/SIGTERM so ``repro serve`` never drops an accepted
+request on shutdown.  Operational telemetry travels over the same wire:
+a :class:`~repro.service.protocol.StatsRequest` is answered (even while
+draining) with the scheduler's cumulative counters.
 """
 
 from __future__ import annotations
@@ -45,6 +54,8 @@ from repro.service.protocol import (
     Message,
     ProtocolError,
     RangingRequest,
+    StatsReply,
+    StatsRequest,
     aggregate_decision,
     decode_message,
     encode_message,
@@ -117,7 +128,17 @@ class AuthService:
         Backpressure: max rounds queued for DSP before new requests are
         rejected with a ``busy`` error.
     dsp_workers:
-        Threads on the DSP executor (1 serializes stacked passes).
+        Workers on the DSP executor (1 serializes stacked passes).
+    dsp_executor:
+        ``"thread"`` (default) runs stacked DSP passes on executor
+        threads of the serving process; ``"process"`` ships them to a
+        spawned ``ProcessPoolExecutor`` so the heavy phase escapes the
+        GIL (see :mod:`repro.service.executor`).  Bit-identical either
+        way.
+    shard_index / shard_count:
+        This server's position in the sharded front tier, echoed in
+        :class:`~repro.service.protocol.StatsReply` messages.  The
+        single-process server is shard 0 of 1.
     max_inflight_rounds:
         Memory backpressure: max rounds being *prepared or detected* at
         once.  A prepared round pins several MB of noise beds and
@@ -139,6 +160,9 @@ class AuthService:
         linger_ms: float = 5.0,
         queue_limit: int = 256,
         dsp_workers: int = 1,
+        dsp_executor: str = "thread",
+        shard_index: int = 0,
+        shard_count: int = 1,
         max_inflight_rounds: int = 32,
     ) -> None:
         self.scheduler = scheduler or BatchingScheduler(
@@ -146,12 +170,44 @@ class AuthService:
             linger_ms=linger_ms,
             max_pending=queue_limit,
             dsp_workers=dsp_workers,
+            dsp_executor=dsp_executor,
         )
         if max_inflight_rounds < 1:
             raise ValueError(
                 f"max_inflight_rounds must be >= 1, got {max_inflight_rounds!r}"
             )
         self._round_gate = asyncio.Semaphore(max_inflight_rounds)
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self._draining = False
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service is refusing new requests (shutdown path)."""
+        return self._draining
+
+    def begin_draining(self) -> None:
+        """Stop accepting new requests; in-flight streams keep running.
+
+        From this point every new :meth:`handle_request` answers with a
+        ``busy`` error (the same retry-later signal backpressure uses),
+        while requests already streaming run to completion.  Idempotent.
+        """
+        self._draining = True
+
+    async def drain(self) -> None:
+        """Wait for in-flight requests to finish, then stop the scheduler.
+
+        Calls :meth:`begin_draining` first, so it is safe as the only
+        shutdown call.  Returns once every accepted request has streamed
+        its final message and the DSP executor is shut down.
+        """
+        self.begin_draining()
+        await self._idle.wait()
+        await self.scheduler.stop()
 
     async def __aenter__(self) -> "AuthService":
         await self.scheduler.start()
@@ -181,51 +237,81 @@ class AuthService:
                 message=problem,
             )
             return
-        await self.scheduler.start()
-
-        # Rounds are independent trials (each on its own world and RNG
-        # stream), so they execute eagerly in parallel: every round's
-        # RNG stages run as soon as the loop is free and its DSP joins
-        # the next stacked batch — a request's rounds typically share
-        # one pass.  Decisions still stream strictly in round order.
-        spec = request_spec(request)
-        loop = asyncio.get_running_loop()
-        self.scheduler.announce(request.rounds)
-        tasks = [
-            loop.create_task(
-                self._run_round(spec, request.first_trial + index)
+        if self._draining:
+            yield ErrorReply(
+                request_id=request.request_id,
+                code="busy",
+                message="service is draining for shutdown; retry elsewhere",
             )
-            for index in range(request.rounds)
-        ]
-        decisions = []
+            return
+        self._active_requests += 1
+        self._idle.clear()
         try:
-            for index, task in enumerate(tasks):
-                try:
-                    outcome = await task
-                except ServiceOverloaded as error:
-                    yield ErrorReply(
-                        request_id=request.request_id,
-                        code="busy",
-                        message=str(error),
-                    )
-                    return
-                decisions.append(
-                    round_decision(
-                        request, index, request.first_trial + index, outcome
-                    )
+            await self.scheduler.start()
+
+            # Rounds are independent trials (each on its own world and
+            # RNG stream), so they execute eagerly in parallel: every
+            # round's RNG stages run as soon as the loop is free and its
+            # DSP joins the next stacked batch — a request's rounds
+            # typically share one pass.  Decisions still stream strictly
+            # in round order.
+            spec = request_spec(request)
+            loop = asyncio.get_running_loop()
+            self.scheduler.announce(request.rounds)
+            tasks = [
+                loop.create_task(
+                    self._run_round(spec, request.first_trial + index)
                 )
-                yield decisions[-1]
+                for index in range(request.rounds)
+            ]
+            decisions = []
+            try:
+                for index, task in enumerate(tasks):
+                    try:
+                        outcome = await task
+                    except ServiceOverloaded as error:
+                        yield ErrorReply(
+                            request_id=request.request_id,
+                            code="busy",
+                            message=str(error),
+                        )
+                        return
+                    decisions.append(
+                        round_decision(
+                            request, index, request.first_trial + index, outcome
+                        )
+                    )
+                    yield decisions[-1]
+            finally:
+                pending = [task for task in tasks if not task.done()]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+                # Reap exceptions of rounds completed after an early exit.
+                for task in tasks:
+                    if task.done() and not task.cancelled():
+                        task.exception()
+            yield aggregate_decision(request, decisions)
         finally:
-            pending = [task for task in tasks if not task.done()]
-            for task in pending:
-                task.cancel()
-            if pending:
-                await asyncio.gather(*pending, return_exceptions=True)
-            # Reap exceptions of rounds completed after an early exit.
-            for task in tasks:
-                if task.done() and not task.cancelled():
-                    task.exception()
-        yield aggregate_decision(request, decisions)
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._idle.set()
+
+    def stats_reply(self, request_id: str) -> StatsReply:
+        """This shard's cumulative scheduler statistics as a wire message."""
+        stats = self.scheduler.stats
+        return StatsReply(
+            request_id=request_id,
+            shard=self.shard_index,
+            shards=self.shard_count,
+            rounds=stats.rounds,
+            batches=stats.batches,
+            largest_batch=stats.largest_batch,
+            queue_high_water=stats.queue_high_water,
+            linger_wait_s=stats.linger_wait_s,
+            batch_histogram=stats.histogram_text(),
+        )
 
     async def _run_round(self, spec: TrialSpec, trial: int) -> RangingOutcome:
         """One ranging round: RNG stages inline, DSP via the scheduler.
@@ -270,6 +356,16 @@ class AuthService:
         """
         return await asyncio.start_server(self._handle_connection, host, port)
 
+    async def serve_unix(self, path: str) -> asyncio.AbstractServer:
+        """Start the same JSON-lines listener on a unix-domain socket.
+
+        This is the shard-worker transport: the sharded front tier
+        (:mod:`repro.service.shard`) runs one :class:`AuthService` per
+        worker process behind a unix socket and forwards client lines to
+        it verbatim.
+        """
+        return await asyncio.start_unix_server(self._handle_connection, path)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -291,6 +387,11 @@ class AuthService:
                         ErrorReply("", "bad-request", str(error)),
                     )
                     continue
+                if isinstance(message, StatsRequest):
+                    await self._send(
+                        writer, write_lock, self.stats_reply(message.request_id)
+                    )
+                    continue
                 if not isinstance(message, RangingRequest):
                     await self._send(
                         writer,
@@ -310,6 +411,10 @@ class AuthService:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
         except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown (process exiting after a drain): fall
+            # through to cleanup instead of logging a cancelled handler.
             pass
         finally:
             for task in tasks:

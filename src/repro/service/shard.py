@@ -1,0 +1,464 @@
+"""Shard-by-session front tier: N worker processes, one TCP endpoint.
+
+:class:`ShardedAuthServer` multiplies the streaming service across CPU
+cores the way a deployment would: it owns the public JSON-lines TCP
+listener and routes every :class:`~repro.service.protocol.RangingRequest`
+to one of N spawned worker processes, each running a full
+:class:`~repro.service.AuthService` (event loop, scheduler, DSP executor)
+behind a private unix-domain socket.
+
+Routing is **by session, not by request**: the shard index is a stable
+hash of the request's session key — ``(environment, distance_m, seed)``,
+the triple that fixes a cell's entire RNG universe — so every round of
+every request touching one session lands on the same worker, in every
+process topology.  Two consequences:
+
+* **Determinism / bit-identity** — a worker runs the identical stage
+  functions on the identical per-session RNG streams as the
+  single-process server (and as ``run_cell_spec``); which worker that is
+  cannot matter, and the router never re-encodes reply payloads — it
+  forwards the workers' raw JSON lines byte-for-byte — so the served
+  bits are exactly the single-process bits at any ``--workers`` count.
+* **Batch locality** — rounds of one session coalesce in one worker's
+  scheduler instead of being sprayed thin across all of them.
+
+The hash is :func:`hashlib.blake2b`, not the builtin ``hash`` (which is
+salted per process and would route differently on every restart).
+
+Shutdown is a coordinated drain: the router flips to answering new
+requests with ``busy``, SIGTERMs the workers (each
+:meth:`~repro.service.AuthService.drain`\\ s: in-flight streams finish,
+the DSP pool closes), and waits for them to exit.  A worker that
+receives SIGINT/SIGTERM directly (Ctrl-C hits the whole process group)
+drains itself the same way.
+
+Telemetry fans out: a :class:`~repro.service.protocol.StatsRequest` is
+forwarded to **all** workers, and each answers with its own
+:class:`~repro.service.protocol.StatsReply` carrying ``(shard,
+shards)`` so the client knows when it has the full set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import multiprocessing
+import os
+import signal
+import tempfile
+
+from repro.service.protocol import (
+    ErrorReply,
+    Message,
+    ProtocolError,
+    RangingRequest,
+    StatsRequest,
+    decode_message,
+    encode_message,
+)
+from repro.service.server import AuthService
+
+__all__ = ["ShardedAuthServer", "session_key", "shard_for_session"]
+
+
+def session_key(request: RangingRequest) -> str:
+    """The routing key of a request: its RNG-universe-defining triple.
+
+    ``first_trial``/``rounds`` slice *within* a session and must not
+    change routing — requests addressing disjoint slices of one cell
+    still belong on one worker.  ``distance_m`` uses ``repr``, which is
+    exact for floats, so distinct cells never alias.
+    """
+    return f"{request.environment}|{request.distance_m!r}|{request.seed}"
+
+
+def shard_for_session(key: str, shards: int) -> int:
+    """Stable shard index for a session key — identical in every process.
+
+    blake2b rather than ``hash()``: the builtin is salted per interpreter
+    (PYTHONHASHSEED), which would break routing stability across
+    restarts and across the router/test processes.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _shard_worker_main(
+    socket_path: str,
+    shard_index: int,
+    shard_count: int,
+    service_options: dict,
+) -> None:
+    """Entry point of one spawned shard worker (its own event loop)."""
+    asyncio.run(
+        _run_worker(socket_path, shard_index, shard_count, service_options)
+    )
+
+
+async def _run_worker(
+    socket_path: str,
+    shard_index: int,
+    shard_count: int,
+    service_options: dict,
+) -> None:
+    service = AuthService(
+        shard_index=shard_index,
+        shard_count=shard_count,
+        **service_options,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    async with service:
+        server = await service.serve_unix(socket_path)
+        try:
+            await stop.wait()
+            # Drain with the listener still open: streams in flight
+            # finish; anything new gets a busy reply, not a dead socket.
+            await service.drain()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+
+
+class ShardedAuthServer:
+    """TCP front tier routing sessions to shard worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of shard worker processes (each a full
+        :class:`~repro.service.AuthService`).
+    socket_dir:
+        Directory for the workers' unix sockets; a private temporary
+        directory by default.
+    service_options:
+        Keyword arguments forwarded to every worker's ``AuthService``
+        (``batch_size``, ``linger_ms``, ``queue_limit``, ``dsp_workers``,
+        ``dsp_executor``, ``max_inflight_rounds``).  Must be picklable —
+        they cross the spawn boundary.
+    ready_timeout:
+        Seconds to wait for each worker's socket to accept connections
+        at :meth:`start` (spawned workers pay the package import once).
+
+    Use as an async context manager, or ``start()`` … ``stop()``.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        socket_dir: str | None = None,
+        service_options: dict | None = None,
+        ready_timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+        self.service_options = dict(service_options or {})
+        self.ready_timeout = ready_timeout
+        self._socket_dir = socket_dir
+        self._owns_socket_dir = socket_dir is None
+        self._processes: list[multiprocessing.Process] = []
+        self._draining = False
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def socket_path(self, shard: int) -> str:
+        assert self._socket_dir is not None, "start() first"
+        return os.path.join(self._socket_dir, f"shard-{shard}.sock")
+
+    async def start(self) -> None:
+        """Spawn the worker processes and wait until all accept."""
+        if self._processes:
+            return
+        if self._socket_dir is None:
+            self._socket_dir = tempfile.mkdtemp(prefix="repro-shards-")
+        context = multiprocessing.get_context("spawn")
+        for shard in range(self.workers):
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(
+                    self.socket_path(shard),
+                    shard,
+                    self.workers,
+                    self.service_options,
+                ),
+                name=f"repro-shard-{shard}",
+                daemon=False,
+            )
+            process.start()
+            self._processes.append(process)
+        await asyncio.gather(
+            *(
+                self._wait_ready(shard)
+                for shard in range(self.workers)
+            )
+        )
+
+    async def _wait_ready(self, shard: int) -> None:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.ready_timeout
+        path = self.socket_path(shard)
+        while True:
+            process = self._processes[shard]
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"shard worker {shard} exited during startup "
+                    f"(exitcode {process.exitcode})"
+                )
+            try:
+                reader, writer = await asyncio.open_unix_connection(path)
+            except (FileNotFoundError, ConnectionRefusedError, OSError):
+                if loop.time() >= deadline:
+                    raise RuntimeError(
+                        f"shard worker {shard} did not become ready "
+                        f"within {self.ready_timeout:.0f}s"
+                    ) from None
+                await asyncio.sleep(0.05)
+                continue
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 8765
+    ) -> asyncio.AbstractServer:
+        """Start the public TCP listener; returns the asyncio server."""
+        await self.start()
+        return await asyncio.start_server(self._handle_client, host, port)
+
+    def begin_draining(self) -> None:
+        """New requests now get ``busy``; forwarded streams keep running."""
+        self._draining = True
+
+    async def drain(self) -> None:
+        """Drain and stop every worker; returns when all have exited.
+
+        Sends SIGTERM (each worker finishes its in-flight streams and
+        shuts its DSP pool down), waits, and escalates to SIGKILL only
+        if a worker ignores the drain for 30 seconds.
+        """
+        self.begin_draining()
+        loop = asyncio.get_running_loop()
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            await loop.run_in_executor(None, process.join, 30.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                await loop.run_in_executor(None, process.join)
+
+    async def stop(self) -> None:
+        """Drain the workers and remove the socket directory."""
+        if self._stopped:
+            return
+        self._stopped = True
+        await self.drain()
+        if self._socket_dir is not None:
+            for shard in range(self.workers):
+                try:
+                    os.unlink(self.socket_path(shard))
+                except OSError:
+                    pass
+            if self._owns_socket_dir:
+                try:
+                    os.rmdir(self._socket_dir)
+                except OSError:
+                    pass
+
+    async def __aenter__(self) -> "ShardedAuthServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- per-connection routing ----------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Route one client connection's lines to the shard workers.
+
+        Lazily opens one upstream connection per shard actually used by
+        this client; a pump task per upstream forwards the worker's
+        reply lines to the client **verbatim** (no decode/re-encode on
+        the reply path — the workers' bytes are the contract).
+        """
+        write_lock = asyncio.Lock()
+        upstreams: dict[int, tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+        pumps: list[asyncio.Task] = []
+        closing = [False]
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_message(line)
+                except ProtocolError as error:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorReply("", "bad-request", str(error)),
+                    )
+                    continue
+                if isinstance(message, StatsRequest):
+                    for shard in range(self.workers):
+                        upstream = await self._upstream(
+                            shard, upstreams, pumps, writer, write_lock, closing
+                        )
+                        upstream.write(line)
+                        await upstream.drain()
+                    continue
+                if not isinstance(message, RangingRequest):
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            getattr(message, "request_id", ""),
+                            "bad-request",
+                            "only ranging_request messages are accepted",
+                        ),
+                    )
+                    continue
+                if self._draining:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            message.request_id,
+                            "busy",
+                            "service is draining for shutdown; retry later",
+                        ),
+                    )
+                    continue
+                shard = shard_for_session(session_key(message), self.workers)
+                upstream = await self._upstream(
+                    shard, upstreams, pumps, writer, write_lock, closing
+                )
+                upstream.write(line)
+                await upstream.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown (router exiting): clean up quietly.
+            pass
+        finally:
+            # Client went away (or half-closed): tell the workers no
+            # more requests are coming, let in-flight replies finish
+            # pumping, then tear the connection down.
+            closing[0] = True
+            for _, upstream_writer in upstreams.values():
+                try:
+                    upstream_writer.write_eof()
+                except (OSError, RuntimeError):
+                    pass
+            if pumps:
+                await asyncio.gather(*pumps, return_exceptions=True)
+            for _, upstream_writer in upstreams.values():
+                upstream_writer.close()
+            for _, upstream_writer in upstreams.values():
+                try:
+                    await upstream_writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _upstream(
+        self,
+        shard: int,
+        upstreams: dict,
+        pumps: list,
+        client_writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        closing: list,
+    ) -> asyncio.StreamWriter:
+        """This connection's upstream to ``shard``, opened on first use."""
+        entry = upstreams.get(shard)
+        if entry is not None:
+            return entry[1]
+        upstream_reader, upstream_writer = await asyncio.open_unix_connection(
+            self.socket_path(shard)
+        )
+        upstreams[shard] = (upstream_reader, upstream_writer)
+        pumps.append(
+            asyncio.get_running_loop().create_task(
+                self._pump(
+                    shard, upstream_reader, client_writer, write_lock, closing
+                )
+            )
+        )
+        return upstream_writer
+
+    async def _pump(
+        self,
+        shard: int,
+        upstream_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        closing: list,
+    ) -> None:
+        """Forward one worker's reply lines to the client, byte-for-byte."""
+        try:
+            while True:
+                line = await upstream_reader.readline()
+                if not line:
+                    break
+                async with write_lock:
+                    client_writer.write(line)
+                    await client_writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        if closing[0] or self._draining:
+            return
+        # The worker hung up while the client is still talking — a
+        # crash, not a drain.  An unattributed error fails every pending
+        # request on the client (it cannot know which were lost).
+        try:
+            await self._send(
+                client_writer,
+                write_lock,
+                ErrorReply(
+                    "", "internal", f"shard {shard} connection lost"
+                ),
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        message: Message,
+    ) -> None:
+        data = (encode_message(message) + "\n").encode("utf-8")
+        async with write_lock:
+            writer.write(data)
+            await writer.drain()

@@ -41,6 +41,7 @@ from repro.sim.pipeline.batch import (
     DEFAULT_BATCH_SIZE,
     BatchedSessionRunner,
     detect_batch,
+    detect_batch_grouped,
 )
 from repro.sim.pipeline.reference import run_monolithic
 from repro.sim.pipeline.stages import (
@@ -79,6 +80,7 @@ __all__ = [
     "SessionTiming",
     "detect",
     "detect_batch",
+    "detect_batch_grouped",
     "exchange_and_decide",
     "negotiate",
     "radiated_reference_waveform",

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol, Sequence
 
 import numpy as np
 
-from repro.core.action import ActionRanging
+from repro.core.action import ActionRanging, SignalPair
 from repro.core.ranging import RangingOutcome
 from repro.sim.pipeline.stages import (
     DetectionPair,
@@ -57,7 +57,12 @@ from repro.sim.pipeline.stages import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.session import RangingSession
 
-__all__ = ["BatchedSessionRunner", "DEFAULT_BATCH_SIZE", "detect_batch"]
+__all__ = [
+    "BatchedSessionRunner",
+    "DEFAULT_BATCH_SIZE",
+    "detect_batch",
+    "detect_batch_grouped",
+]
 
 #: Auto batch size: large enough that the shared coarse pass and the
 #: stacked arrival convolutions amortize their dispatch overhead, small
@@ -101,53 +106,80 @@ def detect_batch(
     (coalesced concurrent requests) route through it.
     """
     results: dict[int, DetectionPair] = {}
-    groups: dict[tuple, list[int]] = {}
+    stackable: list[int] = []
     for index, (ctx, negotiation, recordings) in enumerate(entries):
         if _stackable_action(ctx.action):
-            key = (
-                ctx.config,
-                recordings.auth.shape[0],
-                recordings.vouch.shape[0],
-            )
-            groups.setdefault(key, []).append(index)
+            stackable.append(index)
         else:
             results[index] = detect(ctx, negotiation, recordings)
 
-    for members in groups.values():
-        _detect_stacked_group([entries[i] for i in members], members, results)
+    grouped = detect_batch_grouped(
+        [
+            (
+                entries[i][0].action,
+                entries[i][1].signals,
+                entries[i][0].auth_device.sample_rate,
+                entries[i][0].vouch_device.sample_rate,
+                entries[i][2],
+            )
+            for i in stackable
+        ]
+    )
+    for index, pair in zip(stackable, grouped):
+        results[index] = pair
     return [results[index] for index in range(len(entries))]
 
 
-def _detect_stacked_group(
-    group: Sequence[tuple[SessionContext, NegotiationResult, RenderedRecordings]],
-    indices: Sequence[int],
-    results: dict[int, DetectionPair],
-) -> None:
-    """One stacked observe pass over a group's 2·B recordings."""
-    action = group[0][0].action
-    assert isinstance(action, ActionRanging)
-    recordings = np.stack(
-        [
-            recording
-            for _, _, rendered in group
-            for recording in (rendered.auth, rendered.vouch)
-        ]
-    )
-    scans = []
-    for ctx, negotiation, _ in group:
-        signals = negotiation.signals
-        scans.append(
-            (signals.auth, signals.vouch, ctx.auth_device.sample_rate)
+def detect_batch_grouped(
+    entries: Sequence[
+        tuple[ActionRanging, SignalPair, float, float, RenderedRecordings]
+    ],
+) -> list[DetectionPair]:
+    """Stacked Step IV over pure per-round data — no session objects.
+
+    Each entry is ``(action, signals, auth_sample_rate, vouch_sample_rate,
+    recordings)``.  This is the substrate-independent core of
+    :func:`detect_batch`: everything it consumes is picklable data plus an
+    :class:`~repro.core.action.ActionRanging` whose behaviour depends only
+    on its (hashable) protocol config — which is what lets the streaming
+    service ship a batch's detection to a worker *process* (rebuilding the
+    action from the config over there) and still produce the exact bits
+    the in-process path produces.  Entries are grouped by (config,
+    recording lengths) and each group runs as one stacked
+    ``observe_batch`` pass; results come back in input order.
+    """
+    results: dict[int, DetectionPair] = {}
+    groups: dict[tuple, list[int]] = {}
+    for index, (action, _, _, _, recordings) in enumerate(entries):
+        key = (
+            action.config,
+            recordings.auth.shape[0],
+            recordings.vouch.shape[0],
         )
-        scans.append(
-            (signals.vouch, signals.auth, ctx.vouch_device.sample_rate)
+        groups.setdefault(key, []).append(index)
+
+    for members in groups.values():
+        action = entries[members[0]][0]
+        assert isinstance(action, ActionRanging)
+        recordings = np.stack(
+            [
+                recording
+                for i in members
+                for recording in (entries[i][4].auth, entries[i][4].vouch)
+            ]
         )
-    observations = action.observe_batch(recordings, scans)
-    for position, index in enumerate(indices):
-        results[index] = DetectionPair(
-            auth=observations[2 * position],
-            vouch=observations[2 * position + 1],
-        )
+        scans = []
+        for i in members:
+            _, signals, auth_rate, vouch_rate, _ = entries[i]
+            scans.append((signals.auth, signals.vouch, auth_rate))
+            scans.append((signals.vouch, signals.auth, vouch_rate))
+        observations = action.observe_batch(recordings, scans)
+        for position, index in enumerate(members):
+            results[index] = DetectionPair(
+                auth=observations[2 * position],
+                vouch=observations[2 * position + 1],
+            )
+    return [results[index] for index in range(len(entries))]
 
 
 class SessionLike(Protocol):
