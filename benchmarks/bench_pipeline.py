@@ -32,6 +32,12 @@ sections:
   ``workers_4 >= 2x workers_1`` expectation is conditioned on a
   multi-core host.
 
+A **roc_sweep** section measures the decide seam's amortization
+(:mod:`repro.eval.sweep`): a 16-threshold × all-scenes ROC sweep off
+one render set versus naively re-rendering the scene matrix per
+threshold, with render-call counts proving the sweep performs zero
+renders beyond the single-threshold case.
+
 Run as a script to (re)generate ``BENCH_pipeline.json`` at the
 repository root so the perf trajectory of the hot path is tracked
 in-tree::
@@ -352,6 +358,76 @@ def _measure_service_scaled(
     }
 
 
+def _measure_roc_sweep(trials: int, seed: int = 0) -> dict:
+    """One-render-set ROC sweep vs naive per-threshold re-rendering.
+
+    Three runs over the σ-measurement scene matrix (20 cells), each on a
+    fresh serial engine with a fresh cache so render work is attributed
+    honestly: the full 16-threshold sweep, a 1-threshold sweep (render
+    parity check via the pipeline's render-call counters), and a naive
+    baseline that re-runs the whole matrix once per threshold — what ROC
+    generation cost before the decide seam.
+    """
+    from repro.eval.engine import TrialEngine, use_engine
+    from repro.eval.sweep import DEFAULT_ROC_THRESHOLDS, run_roc_sweep
+    from repro.sim.pipeline import (
+        render_call_counts,
+        reset_render_call_counts,
+    )
+
+    thresholds = DEFAULT_ROC_THRESHOLDS
+
+    def timed(threshold_grid):
+        engine = TrialEngine(jobs=1)
+        reset_render_call_counts()
+        start = perf_counter()
+        with use_engine(engine):
+            sweep = run_roc_sweep(
+                trials=trials, seed=seed, thresholds=threshold_grid
+            )
+        elapsed = perf_counter() - start
+        engine.close()
+        return sweep, elapsed, render_call_counts()
+
+    sweep, sweep_seconds, sweep_renders = timed(thresholds)
+    _, single_seconds, single_renders = timed((thresholds[0],))
+
+    reset_render_call_counts()
+    naive_start = perf_counter()
+    for threshold in thresholds:
+        engine = TrialEngine(jobs=1)
+        with use_engine(engine):
+            run_roc_sweep(trials=trials, seed=seed, thresholds=(threshold,))
+        engine.close()
+    naive_seconds = perf_counter() - naive_start
+    naive_renders = render_call_counts()
+
+    return {
+        "thresholds": len(thresholds),
+        "threshold_grid_m": list(thresholds),
+        "scenes": len(sweep.scenes),
+        "trials_per_cell": trials,
+        "rounds": sweep.rounds,
+        "decisions": sweep.decisions,
+        "sweep_t16": {
+            "seconds": round(sweep_seconds, 4),
+            "trials_per_s": round(sweep.rounds / sweep_seconds, 3),
+            "renders": sweep_renders,
+        },
+        "sweep_t1": {
+            "seconds": round(single_seconds, 4),
+            "renders": single_renders,
+        },
+        "naive_per_threshold_t16": {
+            "seconds": round(naive_seconds, 4),
+            "trials_per_s": round(sweep.rounds / naive_seconds, 3),
+            "renders": naive_renders,
+        },
+        "speedup_vs_naive": round(naive_seconds / sweep_seconds, 2),
+        "zero_extra_renders_vs_t1": sweep_renders == single_renders,
+    }
+
+
 def run_benchmark(
     trials: int = 2,
     reps: int = 2,
@@ -397,6 +473,7 @@ def run_benchmark(
                 f"batched_{batch} outcomes diverged from the staged path"
             )
         stages = _measure_stages(specs)
+        roc_sweep = _measure_roc_sweep(trials)
         # Measured after the trial variants so the process-wide caches
         # (sine rows, SOS designs, FFT plans) are warm, as they would be
         # in a long-running service.
@@ -438,6 +515,7 @@ def run_benchmark(
         "backends_batched_16": _measure_backends(
             specs, staged, reps, results["batched_16"]
         ),
+        "roc_sweep": roc_sweep,
         "service": service,
         "service_scaled": service_scaled,
         "speedups": {
@@ -462,7 +540,10 @@ def run_benchmark(
             "decisions bit-identical to the CLI engine per "
             "tests/test_service.py; service_scaled rows measure the "
             "sharded multi-process tier over TCP, bit-identical at any "
-            "worker count per tests/test_service_scaling.py"
+            "worker count per tests/test_service_scaling.py; roc_sweep "
+            "rows measure the decide seam (repro.eval.sweep): a "
+            "16-threshold sweep decides every threshold off one render "
+            "set, vs re-rendering the scene matrix per threshold"
         ),
     }
 
@@ -489,9 +570,16 @@ def test_pipeline_throughput(benchmark, quick):
             "service_scaled:",
             json.dumps(document["service_scaled"]["rows"], indent=2),
         )
+    print("roc_sweep:", json.dumps(document["roc_sweep"], indent=2))
     assert document["speedups"]["batched_16_vs_pre_refactor"] > 1.0
     served = document["service"]["speedups_vs_serial_request_at_a_time"]
     assert served["c8_batched"] > 1.0
+    roc = document["roc_sweep"]
+    assert roc["zero_extra_renders_vs_t1"], (
+        "T=16 sweep rendered more than T=1: "
+        f"{roc['sweep_t16']['renders']} vs {roc['sweep_t1']['renders']}"
+    )
+    assert roc["speedup_vs_naive"] >= 5.0, roc["speedup_vs_naive"]
 
 
 def main() -> int:

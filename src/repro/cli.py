@@ -40,7 +40,12 @@ from repro.dsp.backend import (
     select_backend,
     set_backend,
 )
-from repro.eval.engine import MeasurementCache, TrialEngine, use_engine
+from repro.eval.engine import (
+    MeasurementCache,
+    TrialEngine,
+    get_engine,
+    use_engine,
+)
 from repro.eval.registry import EXPERIMENTS, list_experiments, run_experiment
 from repro.eval.reporting import format_throughput
 
@@ -130,6 +135,39 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--seed", type=int, default=0)
     all_parser.add_argument("--quick", action="store_true")
     _add_engine_options(all_parser)
+
+    roc_parser = sub.add_parser(
+        "roc",
+        help="FRR/FAR ROC sweep over a threshold grid, one render set",
+        description=(
+            "Render the scene matrix once and decide every round under a "
+            "whole threshold grid (repro.eval.sweep): per-scene FRR/FAR "
+            "tables combining the §VI-C Gaussian-model curves with "
+            "empirical rates from the fanned-out decisions.  Cost is "
+            "O(renders) in the grid size; evidence cells are shared with "
+            "Tables I/II through the measurement cache."
+        ),
+    )
+    roc_parser.add_argument(
+        "--trials", type=int, default=10,
+        help="trials per scene cell (default: the tables' 10)",
+    )
+    roc_parser.add_argument("--seed", type=int, default=0)
+    roc_parser.add_argument(
+        "--quick", action="store_true", help="reduced trial counts"
+    )
+    roc_parser.add_argument(
+        "--thresholds",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="TAU",
+        help=(
+            "threshold grid in meters (default: 16 points, "
+            "0.25-2.125 m in 0.125 m steps)"
+        ),
+    )
+    _add_engine_options(roc_parser)
 
     serve_parser = sub.add_parser(
         "serve",
@@ -252,6 +290,33 @@ def _cmd_run(name: str, trials: int | None, seed: int, quick: bool) -> int:
     return 0
 
 
+def _cmd_roc(args: argparse.Namespace) -> int:
+    from repro.eval.sweep import (
+        DEFAULT_ROC_THRESHOLDS,
+        build_roc_report,
+        run_roc_sweep,
+    )
+
+    trials = args.trials
+    if args.quick:
+        trials = min(trials, 4)
+    thresholds = (
+        tuple(args.thresholds) if args.thresholds else DEFAULT_ROC_THRESHOLDS
+    )
+    start = time.time()
+    sweep = run_roc_sweep(trials=trials, seed=args.seed, thresholds=thresholds)
+    report = build_roc_report(sweep)
+    print(report.to_text())
+    engine = get_engine()
+    summary = format_throughput(
+        engine.counters.trials_executed,
+        time.time() - start,
+        cached_trials=engine.counters.trials_cached,
+    )
+    print(f"\n[roc completed: {summary}, {sweep.decisions} decisions]")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the streaming authentication service until interrupted.
 
@@ -360,6 +425,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                     return _cmd_run(
                         args.experiment, args.trials, args.seed, args.quick
                     )
+                finally:
+                    engine.close()
+        if args.command == "roc":
+            with use_engine(_build_engine(args)) as engine:
+                try:
+                    return _cmd_roc(args)
                 finally:
                     engine.close()
         if args.command == "run-all":

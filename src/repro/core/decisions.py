@@ -1,20 +1,51 @@
-"""Authentication decisions and their reasons.
+"""Authentication decisions, their reasons, and decision policies.
 
 PIANO's decision rule (§III, §IV): grant access iff the vouching device is
 paired, reachable over Bluetooth, and the ACTION distance estimate is no
 larger than the user-selected threshold τ.  Every deny carries a machine-
 readable reason so applications (and our experiments) can distinguish
 "user too far" from "signal not present" from "no pairing".
+
+The decision itself is the *policy* side of the pipeline's decide seam: a
+:class:`DecisionPolicy` is a pure function of one round's threshold-free
+evidence (a :class:`~repro.core.ranging.RangingOutcome` or a
+:class:`repro.sim.pipeline.RoundEvidence` — structurally identical), so
+one rendered round can be decided under arbitrarily many policies at no
+ranging cost.  Three policies ship:
+
+* :class:`ThresholdPolicy` — the paper's fixed-τ rule, reproducing
+  :meth:`repro.core.piano.PianoAuthenticator` single-round decisions
+  bit-identically;
+* :class:`ThresholdGridPolicy` — one evidence in, one decision per τ of
+  a grid out (the ROC-sweep workhorse, :mod:`repro.eval.sweep`);
+* :class:`CalibratedPolicy` — picks τ from a target FRR through the
+  §VI-C Gaussian model (:mod:`repro.eval.frr_far`) given a
+  :class:`CalibrationContext` (per-deployment σ_d), then applies the
+  fixed-τ rule.
 """
 
 from __future__ import annotations
 
 import enum
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Protocol, runtime_checkable
 
-from repro.core.ranging import RangingOutcome
+from repro.core.ranging import RangingOutcome, RangingStatus
 
-__all__ = ["AuthDecision", "DenyReason", "AuthResult"]
+__all__ = [
+    "AuthDecision",
+    "DenyReason",
+    "AuthResult",
+    "RoundEvidenceLike",
+    "DecisionPolicy",
+    "ThresholdPolicy",
+    "ThresholdGridPolicy",
+    "CalibrationContext",
+    "CalibratedPolicy",
+    "decide_round",
+]
 
 
 class AuthDecision(enum.Enum):
@@ -94,3 +125,188 @@ class AuthResult:
             f"DENY [{self.reason.value}] (distance {detail}, "
             f"threshold {self.threshold_m:.2f} m)"
         )
+
+
+@runtime_checkable
+class RoundEvidenceLike(Protocol):
+    """Structural contract for one round's threshold-free evidence.
+
+    Satisfied by both :class:`repro.core.ranging.RangingOutcome` and
+    :class:`repro.sim.pipeline.RoundEvidence` — policies accept either, so
+    the core layer never imports the simulation pipeline.
+    """
+
+    status: RangingStatus
+    distance_m: float | None
+    elapsed_s: float
+    energy_j: float
+
+    def require_distance(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+def _as_ranging(evidence: RoundEvidenceLike) -> RangingOutcome:
+    """Project evidence to the diagnostics ``RangingOutcome`` of a result."""
+    if isinstance(evidence, RangingOutcome):
+        return evidence
+    outcome = getattr(evidence, "outcome", None)
+    if callable(outcome):
+        return outcome()
+    return RangingOutcome(
+        status=evidence.status,
+        distance_m=evidence.distance_m,
+        auth_observation=getattr(evidence, "auth_observation", None),
+        vouch_observation=getattr(evidence, "vouch_observation", None),
+        elapsed_s=evidence.elapsed_s,
+        energy_j=evidence.energy_j,
+    )
+
+
+def _single_round_result(
+    evidence: RoundEvidenceLike, threshold_m: float
+) -> AuthResult:
+    """One round of PIANO's fixed-τ rule over threshold-free evidence.
+
+    This is exactly the per-round decision of
+    ``repro.core.piano.PianoAuthenticator`` (status mapping, then
+    ``distance <= τ``); the bit-identity tests pin the equivalence.
+    """
+    if evidence.status is RangingStatus.BLUETOOTH_UNAVAILABLE:
+        decision, reason = AuthDecision.DENY, DenyReason.OUT_OF_BLUETOOTH_RANGE
+    elif evidence.status is RangingStatus.CHANNEL_TAMPERED:
+        decision, reason = AuthDecision.DENY, DenyReason.CHANNEL_TAMPERED
+    elif evidence.status is RangingStatus.SIGNAL_NOT_PRESENT:
+        decision, reason = AuthDecision.DENY, DenyReason.SIGNAL_NOT_PRESENT
+    elif evidence.require_distance() <= threshold_m:
+        decision, reason = AuthDecision.GRANT, DenyReason.NONE
+    else:
+        decision, reason = AuthDecision.DENY, DenyReason.DISTANCE_EXCEEDS_THRESHOLD
+    return AuthResult(
+        decision=decision,
+        reason=reason,
+        threshold_m=threshold_m,
+        distance_m=evidence.distance_m,
+        rounds=1,
+        ranging=_as_ranging(evidence),
+        elapsed_s=evidence.elapsed_s,
+        energy_j=evidence.energy_j,
+    )
+
+
+class DecisionPolicy(ABC):
+    """A pure decision rule over one round's threshold-free evidence.
+
+    ``decide`` must not consume RNG, mutate the evidence, or touch the
+    ranging pipeline: this is what makes fanning one rendered round out
+    across many policies free (O(renders) ROC sweeps, service-side
+    threshold calibration from cached evidence).
+    """
+
+    @abstractmethod
+    def decide(
+        self, evidence: RoundEvidenceLike
+    ) -> AuthResult | tuple[AuthResult, ...]:
+        """Map evidence to one result (or one per grid point)."""
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy(DecisionPolicy):
+    """The paper's fixed-τ rule (§III): grant iff distance ≤ ``threshold_m``.
+
+    Bit-identical to the single-round decision of
+    ``repro.core.piano.PianoAuthenticator``.
+    """
+
+    threshold_m: float
+
+    def decide(self, evidence: RoundEvidenceLike) -> AuthResult:
+        return _single_round_result(evidence, self.threshold_m)
+
+
+@dataclass(frozen=True)
+class ThresholdGridPolicy(DecisionPolicy):
+    """Decide one round under every τ of a grid in a single pass.
+
+    Equivalent by construction to a tuple of :class:`ThresholdPolicy`
+    decisions, amortizing the evidence across the whole grid — the
+    workhorse of :mod:`repro.eval.sweep`.
+    """
+
+    thresholds_m: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "thresholds_m", tuple(self.thresholds_m))
+
+    def decide(self, evidence: RoundEvidenceLike) -> tuple[AuthResult, ...]:
+        return tuple(
+            _single_round_result(evidence, threshold)
+            for threshold in self.thresholds_m
+        )
+
+
+@lru_cache(maxsize=256)
+def _calibrated_threshold(
+    sigma_m: float,
+    target_frr: float,
+    max_range_m: float,
+    bluetooth_range_m: float,
+    grid_step_m: float,
+) -> float:
+    from repro.eval.frr_far import GaussianAuthModel
+
+    model = GaussianAuthModel(
+        sigma_m=sigma_m,
+        max_range_m=max_range_m,
+        bluetooth_range_m=bluetooth_range_m,
+        grid_step_m=grid_step_m,
+    )
+    return model.threshold_for_frr(target_frr)
+
+
+@dataclass(frozen=True)
+class CalibrationContext:
+    """Per-deployment inputs for picking τ from a target FRR (§VI-C).
+
+    ``sigma_m`` is the deployment's ranging-error spread (measured online
+    by the service's calibration store, or a paper prior);
+    ``target_frr`` is the acceptable false-rejection fraction (not
+    percent).  The τ resolution runs through the §VI-C Gaussian model in
+    :mod:`repro.eval.frr_far` and is cached per context.
+    """
+
+    sigma_m: float
+    target_frr: float = 0.05
+    max_range_m: float = 2.5
+    bluetooth_range_m: float = 10.0
+    grid_step_m: float = 0.005
+
+    def threshold_m(self) -> float:
+        """Smallest grid τ whose modeled FRR is ≤ ``target_frr``."""
+        return _calibrated_threshold(
+            self.sigma_m,
+            self.target_frr,
+            self.max_range_m,
+            self.bluetooth_range_m,
+            self.grid_step_m,
+        )
+
+
+@dataclass(frozen=True)
+class CalibratedPolicy(DecisionPolicy):
+    """Fixed-τ rule with τ derived from a :class:`CalibrationContext`."""
+
+    context: CalibrationContext
+
+    def resolve(self) -> ThresholdPolicy:
+        """The concrete fixed-τ policy this context resolves to."""
+        return ThresholdPolicy(self.context.threshold_m())
+
+    def decide(self, evidence: RoundEvidenceLike) -> AuthResult:
+        return _single_round_result(evidence, self.context.threshold_m())
+
+
+def decide_round(
+    evidence: RoundEvidenceLike, policy: DecisionPolicy
+) -> AuthResult | tuple[AuthResult, ...]:
+    """The policy half of the decide seam: ``policy.decide(evidence)``."""
+    return policy.decide(evidence)

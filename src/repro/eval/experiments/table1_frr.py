@@ -24,12 +24,9 @@ under the Gaussian model.  Three variants are reported:
 from __future__ import annotations
 
 from repro.eval.experiments.sigma_measurement import SCENARIOS, measure_sigmas
-from repro.eval.frr_far import (
-    GaussianAuthModel,
-    PAPER_SIGMAS_M,
-    THRESHOLDS_M,
-)
+from repro.eval.frr_far import PAPER_SIGMAS_M, THRESHOLDS_M
 from repro.eval.reporting import ExperimentReport, format_percent_row
+from repro.eval.sweep import model_frr_rows
 
 __all__ = ["PAPER_TABLE1", "run"]
 
@@ -57,10 +54,12 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
     ]
     report.add_table(headers, paper_rows, title="Table I as printed in the paper")
 
+    # Both model variants draw their per-threshold columns from the
+    # sweep's shared model-evaluation path (one vectorized curve per σ).
+    paper_sigma_rows = model_frr_rows(PAPER_SIGMAS_M)
     model_rows = []
     for name in SCENARIOS:
-        model = GaussianAuthModel(sigma_m=PAPER_SIGMAS_M[name])
-        row = model.frr_row()
+        row = paper_sigma_rows[name]
         model_rows.append([name, *format_percent_row(row)])
         report.data[f"model_paper_sigma:{name}"] = row
     report.add()
@@ -69,10 +68,10 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
         title="Gaussian model at the paper-implied sigma_d (formula check)",
     )
 
+    measured_sigma_rows = model_frr_rows(sigmas)
     measured_rows = []
     for name in SCENARIOS:
-        model = GaussianAuthModel(sigma_m=sigmas[name])
-        row = model.frr_row()
+        row = measured_sigma_rows[name]
         measured_rows.append(
             [f"{name} (σ={100*sigmas[name]:.1f}cm)", *format_percent_row(row)]
         )

@@ -20,12 +20,9 @@ range d_s ≈ 2.5 m (beyond it ranging yields ⊥ and denies outright).
 from __future__ import annotations
 
 from repro.eval.experiments.sigma_measurement import SCENARIOS, measure_sigmas
-from repro.eval.frr_far import (
-    GaussianAuthModel,
-    PAPER_SIGMAS_M,
-    THRESHOLDS_M,
-)
+from repro.eval.frr_far import PAPER_SIGMAS_M, THRESHOLDS_M
 from repro.eval.reporting import ExperimentReport, format_percent_row
+from repro.eval.sweep import model_far_rows
 
 __all__ = ["PAPER_TABLE2", "run"]
 
@@ -53,10 +50,12 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
     ]
     report.add_table(headers, paper_rows, title="Table II as printed in the paper")
 
+    # Per-threshold columns come from the sweep's shared model-evaluation
+    # path, exactly as in Table I.
+    paper_sigma_rows = model_far_rows(PAPER_SIGMAS_M)
     model_rows = []
     for name in SCENARIOS:
-        model = GaussianAuthModel(sigma_m=PAPER_SIGMAS_M[name])
-        row = model.far_row()
+        row = paper_sigma_rows[name]
         model_rows.append([name, *format_percent_row(row)])
         report.data[f"model_paper_sigma:{name}"] = row
     report.add()
@@ -65,10 +64,10 @@ def run(trials: int = 10, seed: int = 0, quick: bool = False) -> ExperimentRepor
         title="Gaussian model at the paper-implied sigma_d (formula check)",
     )
 
+    measured_sigma_rows = model_far_rows(sigmas)
     measured_rows = []
     for name in SCENARIOS:
-        model = GaussianAuthModel(sigma_m=sigmas[name])
-        row = model.far_row()
+        row = measured_sigma_rows[name]
         measured_rows.append(
             [f"{name} (σ={100*sigmas[name]:.1f}cm)", *format_percent_row(row)]
         )

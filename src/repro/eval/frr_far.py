@@ -26,6 +26,17 @@ from scipy.stats import norm
 
 __all__ = ["GaussianAuthModel", "THRESHOLDS_M", "PAPER_SIGMAS_M"]
 
+
+def _arange_length(start: float, stop: float, step: float) -> int:
+    """Length of ``np.arange(start, stop, step)`` without materializing it.
+
+    Mirrors numpy's own computation (``ceil((stop - start) / step)`` in
+    float64), so ``base[:_arange_length(...)]`` is bit-identical to the
+    shorter ``arange`` — arange values depend only on start, step, and
+    index, never on stop.
+    """
+    return max(int(np.ceil((stop - start) / step)), 0)
+
 #: The four authentication thresholds of Tables I/II, in meters.
 THRESHOLDS_M = (0.5, 1.0, 1.5, 2.0)
 
@@ -71,6 +82,39 @@ class GaussianAuthModel:
             )
         if self.grid_step_m <= 0:
             raise ValueError("grid_step_m must be positive")
+        # Per-instance integration-grid caches.  Non-field attributes set
+        # through object.__setattr__ stay out of dataclasses.fields(), so
+        # equality/hash/fingerprinting of the frozen model are unaffected.
+        # FRR grids for every τ are prefixes of one shared base grid
+        # (arange values depend only on start/step/index); FAR grids start
+        # at τ + step/2, so they are cached per τ instead.
+        object.__setattr__(self, "_frr_base_grid", None)
+        object.__setattr__(self, "_far_grids", {})
+
+    def _frr_grid(self, threshold_m: float) -> np.ndarray:
+        """Midpoint grid over (0, τ], sliced from the cached base grid."""
+        base = self._frr_base_grid
+        if base is None:
+            base = np.arange(
+                self.grid_step_m / 2, self.bluetooth_range_m, self.grid_step_m
+            )
+            object.__setattr__(self, "_frr_base_grid", base)
+        n = _arange_length(self.grid_step_m / 2, threshold_m, self.grid_step_m)
+        if n > base.size:  # τ beyond the Bluetooth range: extend directly
+            return np.arange(self.grid_step_m / 2, threshold_m, self.grid_step_m)
+        return base[:n]
+
+    def _far_grid(self, threshold_m: float) -> np.ndarray:
+        """Midpoint grid over (τ, R_bt], cached per τ."""
+        grid = self._far_grids.get(threshold_m)
+        if grid is None:
+            grid = np.arange(
+                threshold_m + self.grid_step_m / 2,
+                self.bluetooth_range_m,
+                self.grid_step_m,
+            )
+            self._far_grids[threshold_m] = grid
+        return grid
 
     def frr_at_distance(self, d: float, threshold_m: float) -> float:
         """P(estimate > τ) for a legitimate user at distance ``d``.
@@ -93,32 +137,78 @@ class GaussianAuthModel:
         """Average FRR over legitimate distances d ∈ (0, τ].
 
         Midpoint-rule average (a right-endpoint grid would overweight the
-        steep rise of P(est > τ) at d = τ and bias FRR upward).
+        steep rise of P(est > τ) at d = τ and bias FRR upward).  The grid
+        integrand is vectorized: ``norm.sf`` is an elementwise ufunc and
+        ``np.mean`` sees the same float64 values, so this is bit-identical
+        to the per-distance scalar loop it replaced.
         """
         if threshold_m <= 0:
             raise ValueError("threshold must be positive")
-        grid = np.arange(
-            self.grid_step_m / 2, threshold_m, self.grid_step_m
+        grid = self._frr_grid(threshold_m)
+        values = np.where(
+            grid > self.max_range_m,
+            1.0,
+            norm.sf((threshold_m - grid) / self.sigma_m),
         )
-        values = [self.frr_at_distance(float(d), threshold_m) for d in grid]
         return float(np.mean(values))
 
     def far(self, threshold_m: float) -> float:
         """Average FAR over illegitimate distances d ∈ (τ, R_bt]."""
         if threshold_m >= self.bluetooth_range_m:
             raise ValueError("threshold must be below the Bluetooth range")
-        grid = np.arange(
-            threshold_m + self.grid_step_m / 2,
-            self.bluetooth_range_m,
+        grid = self._far_grid(threshold_m)
+        values = np.where(
+            (grid >= self.max_range_m) | (grid > self.bluetooth_range_m),
+            0.0,
+            norm.cdf((threshold_m - grid) / self.sigma_m),
+        )
+        return float(np.mean(values))
+
+    def frr_curve(self, thresholds) -> np.ndarray:
+        """FRR fractions for a whole threshold array in one pass.
+
+        Every τ reuses a prefix of the one cached base grid — no per-τ
+        grid construction — and each entry is bit-identical to the
+        scalar :meth:`frr`.
+        """
+        return np.array([self.frr(float(t)) for t in thresholds])
+
+    def far_curve(self, thresholds) -> np.ndarray:
+        """FAR fractions for a whole threshold array in one pass."""
+        return np.array([self.far(float(t)) for t in thresholds])
+
+    def threshold_for_frr(self, target_frr: float) -> float:
+        """Smallest grid τ with modeled FRR ≤ ``target_frr`` (a fraction).
+
+        FRR(τ) is monotone decreasing in τ, so this is the tightest
+        threshold meeting the target.  Candidates run over the model grid
+        up to the acoustic range d_s (beyond it FRR has a floor — users
+        past d_s are always rejected); if even τ = d_s misses the target,
+        d_s is returned as the best achievable threshold.
+        """
+        if not 0 < target_frr < 1:
+            raise ValueError("target_frr must be a fraction in (0, 1)")
+        candidates = np.arange(
+            self.grid_step_m,
+            self.max_range_m + self.grid_step_m / 2,
             self.grid_step_m,
         )
-        values = [self.far_at_distance(float(d), threshold_m) for d in grid]
-        return float(np.mean(values))
+        lo, hi = 0, candidates.size - 1
+        if self.frr(float(candidates[hi])) > target_frr:
+            return float(candidates[hi])
+        # Binary search for the first candidate meeting the target.
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.frr(float(candidates[mid])) <= target_frr:
+                hi = mid
+            else:
+                lo = mid + 1
+        return float(candidates[lo])
 
     def frr_row(self, thresholds=THRESHOLDS_M) -> list[float]:
         """FRR percentages across the standard thresholds."""
-        return [100.0 * self.frr(t) for t in thresholds]
+        return [100.0 * float(v) for v in self.frr_curve(thresholds)]
 
     def far_row(self, thresholds=THRESHOLDS_M) -> list[float]:
         """FAR percentages across the standard thresholds."""
-        return [100.0 * self.far(t) for t in thresholds]
+        return [100.0 * float(v) for v in self.far_curve(thresholds)]

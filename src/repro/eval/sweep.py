@@ -1,0 +1,264 @@
+"""O(renders) FRR/FAR ROC sweeps — one render set, a whole threshold grid.
+
+The decide seam (``docs/pipeline.md``) makes a ranging round's evidence
+threshold-free: :class:`~repro.eval.engine.TrialSpec` fingerprints carry
+no τ, so the cached :class:`~repro.eval.engine.CellResult`\\ s of the σ_d
+measurement plan (:func:`repro.eval.experiments.sigma_measurement.sigma_plan`)
+*are* the shared evidence for every sweep point.  A sweep therefore:
+
+1. runs the scene matrix **once** through the engine (render + detect,
+   ``MeasurementCache``-shared with Tables I/II and across invocations);
+2. fans each round's evidence across the whole threshold grid with a
+   :class:`~repro.core.decisions.ThresholdGridPolicy` — pure Python
+   comparisons, no RNG, no DSP;
+3. lays the §VI-C Gaussian-model curves (vectorized
+   ``frr_curve``/``far_curve``) alongside the empirical rates.
+
+Cost is O(renders) in the grid size T: a T=16 sweep performs exactly as
+many renders as T=1 (asserted by render-call counting in the tests and
+the CI smoke), versus O(T × renders) for naive per-threshold re-runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decisions import ThresholdGridPolicy
+from repro.eval.engine import get_engine
+from repro.eval.experiments.sigma_measurement import (
+    SCENARIOS,
+    measure_sigmas,
+    sigma_plan,
+)
+from repro.eval.frr_far import THRESHOLDS_M, GaussianAuthModel
+from repro.eval.reporting import ExperimentReport
+
+__all__ = [
+    "DEFAULT_ROC_THRESHOLDS",
+    "SceneRoc",
+    "RocSweep",
+    "model_frr_rows",
+    "model_far_rows",
+    "run_roc_sweep",
+    "build_roc_report",
+    "run",
+]
+
+#: 16-point τ grid for ROC sweeps: 0.25 m … 2.125 m in 0.125 m steps.
+#: A superset of the paper's four table thresholds (0.5/1.0/1.5/2.0 m),
+#: so table columns are sweep columns.
+DEFAULT_ROC_THRESHOLDS = tuple(0.125 * k for k in range(2, 18))
+
+
+def model_frr_rows(
+    sigmas: dict[str, float], thresholds=THRESHOLDS_M
+) -> dict[str, list[float]]:
+    """Gaussian-model FRR percentage rows per scenario (vectorized).
+
+    The single shared helper behind Table I's per-threshold columns and
+    the sweep's model curves — both draw from one model evaluation path.
+    """
+    return {
+        name: [
+            100.0 * float(v)
+            for v in GaussianAuthModel(sigma_m=sigmas[name]).frr_curve(thresholds)
+        ]
+        for name in sigmas
+    }
+
+
+def model_far_rows(
+    sigmas: dict[str, float], thresholds=THRESHOLDS_M
+) -> dict[str, list[float]]:
+    """Gaussian-model FAR percentage rows per scenario (vectorized)."""
+    return {
+        name: [
+            100.0 * float(v)
+            for v in GaussianAuthModel(sigma_m=sigmas[name]).far_curve(thresholds)
+        ]
+        for name in sigmas
+    }
+
+
+@dataclass(frozen=True)
+class SceneRoc:
+    """One scenario's ROC: model curves plus empirical rates per τ.
+
+    Empirical rates come from fanning every rendered round's evidence
+    across the τ grid: at each τ, rounds whose true distance is ≤ τ form
+    the legitimate population (denials are false rejections) and rounds
+    beyond τ form the illegitimate one (grants are false acceptances).
+    Entries are ``None`` where the sampled distances (0.5–2.0 m) leave a
+    population empty; the model curves cover the full (0, R_bt] band.
+    """
+
+    scenario: str
+    sigma_m: float
+    thresholds_m: tuple[float, ...]
+    model_frr_pct: tuple[float, ...]
+    model_far_pct: tuple[float, ...]
+    empirical_frr_pct: tuple[float | None, ...]
+    empirical_far_pct: tuple[float | None, ...]
+    legit_counts: tuple[int, ...]
+    attack_counts: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RocSweep:
+    """A full ROC sweep: τ grid × scenes, one render set."""
+
+    thresholds_m: tuple[float, ...]
+    trials: int
+    seed: int
+    scenes: tuple[SceneRoc, ...]
+    #: Total ranging rounds whose evidence fed the fan-out.
+    rounds: int
+    #: Total policy decisions produced (= rounds × len(thresholds_m)).
+    decisions: int
+
+    def scene(self, scenario: str) -> SceneRoc:
+        for scene in self.scenes:
+            if scene.scenario == scenario:
+                return scene
+        raise KeyError(scenario)
+
+
+def run_roc_sweep(
+    trials: int = 10,
+    seed: int = 0,
+    thresholds=DEFAULT_ROC_THRESHOLDS,
+) -> RocSweep:
+    """Render each scene cell once, decide under every τ of the grid.
+
+    The σ_d estimates and the evidence cells are shared with Tables I/II
+    through the engine cache: after either runs, the other re-renders
+    nothing.
+    """
+    thresholds = tuple(float(t) for t in thresholds)
+    if not thresholds:
+        raise ValueError("need at least one threshold")
+    engine = get_engine()
+    # σ_d first: it runs (or cache-loads) the same plan, so the run_plan
+    # below is pure cache service — evidence is rendered at most once.
+    sigmas = measure_sigmas(trials, seed)
+    plan = sigma_plan(trials, seed)
+    cells = engine.run_plan(plan)
+
+    grid = ThresholdGridPolicy(thresholds)
+    n = len(thresholds)
+    counts: dict[str, dict[str, list[int]]] = {
+        name: {
+            "legit": [0] * n,
+            "deny_legit": [0] * n,
+            "attack": [0] * n,
+            "grant_attack": [0] * n,
+        }
+        for name in SCENARIOS
+    }
+    rounds = 0
+    for spec, cell in zip(plan.specs, cells):
+        scenario = spec.key.rsplit(":", 1)[0]
+        tally = counts[scenario]
+        for evidence in cell.outcomes:
+            rounds += 1
+            results = grid.decide(evidence)
+            for i, result in enumerate(results):
+                if spec.distance_m <= thresholds[i]:
+                    tally["legit"][i] += 1
+                    if not result.granted:
+                        tally["deny_legit"][i] += 1
+                else:
+                    tally["attack"][i] += 1
+                    if result.granted:
+                        tally["grant_attack"][i] += 1
+
+    model_frr = model_frr_rows(sigmas, thresholds)
+    model_far = model_far_rows(sigmas, thresholds)
+    scenes = []
+    for name in SCENARIOS:
+        tally = counts[name]
+        scenes.append(
+            SceneRoc(
+                scenario=name,
+                sigma_m=sigmas[name],
+                thresholds_m=thresholds,
+                model_frr_pct=tuple(model_frr[name]),
+                model_far_pct=tuple(model_far[name]),
+                empirical_frr_pct=tuple(
+                    100.0 * d / t if t else None
+                    for d, t in zip(tally["deny_legit"], tally["legit"])
+                ),
+                empirical_far_pct=tuple(
+                    100.0 * g / t if t else None
+                    for g, t in zip(tally["grant_attack"], tally["attack"])
+                ),
+                legit_counts=tuple(tally["legit"]),
+                attack_counts=tuple(tally["attack"]),
+            )
+        )
+    return RocSweep(
+        thresholds_m=thresholds,
+        trials=trials,
+        seed=seed,
+        scenes=tuple(scenes),
+        rounds=rounds,
+        decisions=rounds * n,
+    )
+
+
+def _pct(value: float | None) -> str:
+    return f"{value:.1f}%" if value is not None else "n/a"
+
+
+def build_roc_report(sweep: RocSweep) -> ExperimentReport:
+    """Render a sweep as per-scene FRR/FAR ROC tables."""
+    report = ExperimentReport(
+        name="roc", title="FRR/FAR ROC sweep (one render set, all thresholds)"
+    )
+    headers = ["tau", "model FRR", "emp FRR", "model FAR", "emp FAR"]
+    for scene in sweep.scenes:
+        rows = []
+        for i, tau in enumerate(sweep.thresholds_m):
+            rows.append(
+                [
+                    f"{tau:.3f}m",
+                    _pct(scene.model_frr_pct[i]),
+                    _pct(scene.empirical_frr_pct[i]),
+                    _pct(scene.model_far_pct[i]),
+                    _pct(scene.empirical_far_pct[i]),
+                ]
+            )
+        report.add_table(
+            headers,
+            rows,
+            title=f"{scene.scenario} (σ={100 * scene.sigma_m:.1f}cm)",
+        )
+        report.add()
+        report.data[f"sigma:{scene.scenario}"] = scene.sigma_m
+        report.data[f"model_frr:{scene.scenario}"] = list(scene.model_frr_pct)
+        report.data[f"model_far:{scene.scenario}"] = list(scene.model_far_pct)
+        report.data[f"empirical_frr:{scene.scenario}"] = list(
+            scene.empirical_frr_pct
+        )
+        report.data[f"empirical_far:{scene.scenario}"] = list(
+            scene.empirical_far_pct
+        )
+    report.data["thresholds_m"] = list(sweep.thresholds_m)
+    report.data["rounds"] = sweep.rounds
+    report.data["decisions"] = sweep.decisions
+    report.add(
+        f"{len(sweep.thresholds_m)} thresholds x {len(sweep.scenes)} scenes "
+        f"from {sweep.rounds} rendered rounds ({sweep.decisions} decisions); "
+        "empirical columns cover the sampled 0.5-2.0 m band, model columns "
+        "the full Gaussian §VI-C formula"
+    )
+    return report
+
+
+def run(
+    trials: int = 10, seed: int = 0, quick: bool = False
+) -> ExperimentReport:
+    """Experiment-style entry point (mirrors ``repro.eval.experiments``)."""
+    if quick:
+        trials = min(trials, 4)
+    return build_roc_report(run_roc_sweep(trials, seed))

@@ -3,7 +3,7 @@
 ``repro.service`` turns the repo's pure pipeline into a deployable
 asyncio service (the flow PIANO's paper targets: an auth request arrives,
 the ranging protocol runs, accept/reject streams back within a speech
-interaction).  Seven modules:
+interaction).  Eight modules:
 
 * **protocol** — the wire messages (flat frozen dataclasses) and their
   newline-delimited JSON codec, plus the request → trial mapping and the
@@ -19,6 +19,10 @@ interaction).  Seven modules:
   stage drive (RNG stages on the request path, DSP via the scheduler),
   decision streaming, graceful draining, and the JSON-lines TCP/unix
   listeners behind ``python -m repro serve``;
+* **calibration** — :class:`CalibrationStore`, per-deployment threshold
+  auto-calibration: bounded windows of served ranging errors per
+  environment, σ_d estimation, and τ selection for a target FRR through
+  the §VI-C Gaussian model (read over the wire via ``calibrate``);
 * **shard** — :class:`ShardedAuthServer`, the multi-process front tier:
   one TCP endpoint, N worker processes, consistent session → shard
   routing (``python -m repro serve --workers N``);
@@ -42,11 +46,18 @@ Contracts (details in ``docs/service.md``):
   new requests with ``busy``, and closes the DSP executors.
 """
 
+from repro.service.calibration import (
+    CalibrationStore,
+    CalibrationSummary,
+    robust_sigma,
+)
 from repro.service.client import AuthClient, ServedAuthentication, ServiceError
 from repro.service.executor import RoundDSPJob, execute_dsp_jobs, round_dsp_job
 from repro.service.loadgen import LoadgenReport, run_loadgen
 from repro.service.protocol import (
     MESSAGE_TYPES,
+    CalibrateReply,
+    CalibrateRequest,
     ErrorReply,
     Message,
     ProtocolError,
@@ -80,6 +91,10 @@ __all__ = [
     "AuthClient",
     "AuthService",
     "BatchingScheduler",
+    "CalibrateReply",
+    "CalibrateRequest",
+    "CalibrationStore",
+    "CalibrationSummary",
     "ErrorReply",
     "LoadgenReport",
     "Message",
@@ -100,6 +115,7 @@ __all__ = [
     "encode_message",
     "execute_dsp_jobs",
     "request_spec",
+    "robust_sigma",
     "round_decision",
     "round_dsp_job",
     "run_loadgen",

@@ -1,0 +1,152 @@
+"""Per-deployment threshold auto-calibration from served evidence.
+
+Every completed ranging round the service executes is free calibration
+data: on the simulated substrate the request carries the true distance,
+so the round's signed ranging error (estimate − truth) is observable at
+decision time.  :class:`CalibrationStore` keeps a bounded window of
+recent errors per environment and turns them into the deployment's
+σ_d estimate; :meth:`CalibrationStore.summary` then picks the tightest
+threshold τ meeting a target FRR through the §VI-C Gaussian model
+(:class:`repro.core.decisions.CalibrationContext` →
+:meth:`repro.eval.frr_far.GaussianAuthModel.threshold_for_frr`).
+
+This is the service half of the decide seam: evidence is recorded once
+on the round path (no extra renders, no RNG), and τ selection is a pure
+fan-out over it — the wire ``calibrate`` message
+(:class:`~repro.service.protocol.CalibrateRequest`) just reads the
+current summary.  Until an environment has seen enough traffic
+(``min_samples``), the paper-implied σ priors
+(:data:`repro.eval.frr_far.PAPER_SIGMAS_M`) answer instead, flagged
+``source="prior"``; hardware deployments without ground truth would
+feed the window from supervised enrollment rounds the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.decisions import CalibrationContext
+from repro.eval.frr_far import PAPER_SIGMAS_M
+
+__all__ = ["CalibrationStore", "CalibrationSummary", "robust_sigma"]
+
+
+def robust_sigma(errors) -> float:
+    """MAD-based σ estimate (×1.4826), robust to ⊥-adjacent outliers.
+
+    The same estimator the evaluation stack pools per cell
+    (``repro.eval.stats.ErrorStats.robust_std_cm``), in meters.
+    """
+    values = sorted(float(e) for e in errors)
+    if not values:
+        raise ValueError("need at least one error sample")
+    median = _median(values)
+    deviations = sorted(abs(v - median) for v in values)
+    return 1.4826 * _median(deviations)
+
+
+def _median(ordered: list[float]) -> float:
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass(frozen=True)
+class CalibrationSummary:
+    """One environment's calibration state at a point in time.
+
+    ``source`` is ``"measured"`` when σ comes from the served-traffic
+    error window, ``"prior"`` when it is the paper-implied σ (not enough
+    samples yet).  ``threshold_m`` is the tightest τ whose modeled FRR
+    meets ``target_frr`` under that σ (clamped to the acoustic range
+    d_s when the target is unreachable).
+    """
+
+    environment: str
+    threshold_m: float
+    sigma_m: float
+    samples: int
+    target_frr: float
+    source: str
+
+
+class CalibrationStore:
+    """Bounded per-environment windows of observed ranging errors.
+
+    Parameters
+    ----------
+    window:
+        Max errors retained per environment (oldest evicted first) —
+        keeps the estimate tracking a drifting deployment instead of
+        averaging over its whole history.
+    min_samples:
+        Below this many samples the paper prior answers instead of the
+        (still noisy) measured σ.
+    """
+
+    def __init__(self, window: int = 1024, min_samples: int = 8) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples!r}")
+        self.window = window
+        self.min_samples = min_samples
+        self._errors: dict[str, deque[float]] = {}
+        self._recorded = 0
+
+    @property
+    def recorded(self) -> int:
+        """Total errors ever recorded (evicted samples included)."""
+        return self._recorded
+
+    def record(self, environment: str, error_m: float) -> None:
+        """Add one completed round's signed ranging error (meters)."""
+        if not isinstance(environment, str) or not environment:
+            raise ValueError("environment must be a non-empty string")
+        error_m = float(error_m)
+        if not math.isfinite(error_m):
+            return  # defensive: never poison the window
+        window = self._errors.get(environment)
+        if window is None:
+            window = self._errors[environment] = deque(maxlen=self.window)
+        window.append(error_m)
+        self._recorded += 1
+
+    def samples(self, environment: str) -> int:
+        """Errors currently windowed for ``environment``."""
+        return len(self._errors.get(environment, ()))
+
+    def sigma(self, environment: str) -> tuple[float, int, str]:
+        """``(sigma_m, samples, source)`` for an environment.
+
+        Measured (robust MAD σ over the window) once ``min_samples``
+        errors are in; otherwise the paper-implied prior — ``office``'s
+        for environments the paper did not profile.  A degenerate
+        all-identical window (σ = 0) also falls back to the prior: the
+        Gaussian model needs σ > 0.
+        """
+        window = self._errors.get(environment, ())
+        prior = PAPER_SIGMAS_M.get(environment, PAPER_SIGMAS_M["office"])
+        if len(window) >= self.min_samples:
+            measured = robust_sigma(window)
+            if measured > 0:
+                return measured, len(window), "measured"
+        return prior, len(window), "prior"
+
+    def summary(
+        self, environment: str, target_frr: float = 0.05
+    ) -> CalibrationSummary:
+        """Current σ and the tightest τ meeting ``target_frr`` (fraction)."""
+        sigma_m, samples, source = self.sigma(environment)
+        context = CalibrationContext(sigma_m=sigma_m, target_frr=target_frr)
+        return CalibrationSummary(
+            environment=environment,
+            threshold_m=context.threshold_m(),
+            sigma_m=sigma_m,
+            samples=samples,
+            target_frr=target_frr,
+            source=source,
+        )

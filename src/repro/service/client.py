@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import AsyncIterator
 
 from repro.service.protocol import (
+    CalibrateReply,
+    CalibrateRequest,
     ErrorReply,
     Message,
     ProtocolError,
@@ -185,6 +187,48 @@ class AuthClient:
                 if not isinstance(reply, StatsReply):
                     raise ProtocolError(
                         f"unexpected stats reply: {type(reply).__name__}"
+                    )
+                replies.append(reply)
+                if len(replies) >= reply.shards:
+                    return sorted(replies, key=lambda r: r.shard)
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def calibrate(
+        self, environment: str = "office", target_frr_pct: float = 5.0
+    ) -> list[CalibrateReply]:
+        """Fetch the calibrated τ for an environment, one reply per shard.
+
+        Each shard answers from the ranging evidence of the sessions
+        routed to it (``source="measured"``), or the paper-implied σ
+        prior before enough traffic has accrued (``source="prior"``);
+        the list comes back sorted by shard index.
+        """
+        request_id = self._next_request_id()
+        if request_id in self._pending:
+            raise ValueError(f"request id {request_id!r} already in flight")
+        queue: asyncio.Queue[Message] = asyncio.Queue()
+        self._pending[request_id] = queue
+        try:
+            line = encode_message(
+                CalibrateRequest(
+                    request_id=request_id,
+                    environment=environment,
+                    target_frr_pct=target_frr_pct,
+                )
+            )
+            self._writer.write((line + "\n").encode())
+            await self._writer.drain()
+            replies: list[CalibrateReply] = []
+            while True:
+                reply = await queue.get()
+                if isinstance(reply, _ReaderFailed):
+                    raise reply.error
+                if isinstance(reply, ErrorReply):
+                    raise ServiceError(reply)
+                if not isinstance(reply, CalibrateReply):
+                    raise ProtocolError(
+                        f"unexpected calibrate reply: {type(reply).__name__}"
                     )
                 replies.append(reply)
                 if len(replies) >= reply.shards:

@@ -14,14 +14,18 @@ newline-delimited JSON encoding (one message per line):
   (``bad-request``), rejected by backpressure (``busy``), or failed
   unexpectedly (``internal``).  It also terminates the stream.
 
-Two further messages carry operational telemetry rather than
-authentication traffic: :class:`StatsRequest` asks for the server's
-cumulative scheduler statistics and :class:`StatsReply` answers it — one
-reply per shard when the sharded front tier is serving (``shards`` tells
-the client how many replies to expect; ``repro.service.AuthClient.stats``
-collects them).  Stats otherwise lost at process exit (batch-size
-histogram, linger waits, queue high-water) thereby become observable to
-load generators and operators over the same wire.
+Further messages carry operational traffic rather than authentication
+rounds: :class:`StatsRequest` asks for the server's cumulative scheduler
+statistics and :class:`StatsReply` answers it — one reply per shard when
+the sharded front tier is serving (``shards`` tells the client how many
+replies to expect; ``repro.service.AuthClient.stats`` collects them).
+Stats otherwise lost at process exit (batch-size histogram, linger
+waits, queue high-water) thereby become observable to load generators
+and operators over the same wire.  :class:`CalibrateRequest` /
+:class:`CalibrateReply` read the server's per-deployment threshold
+calibration (:mod:`repro.service.calibration`): the σ_d estimated from
+served ranging evidence and the tightest τ meeting a target FRR — also
+one reply per shard (``repro.service.AuthClient.calibrate`` collects).
 
 Determinism contract: a request *is* a trial-engine cell description.
 :func:`request_spec` maps it to the exact
@@ -51,6 +55,8 @@ __all__ = [
     "ErrorReply",
     "StatsRequest",
     "StatsReply",
+    "CalibrateRequest",
+    "CalibrateReply",
     "Message",
     "MESSAGE_TYPES",
     "encode_message",
@@ -172,6 +178,42 @@ class StatsReply:
     batch_histogram: str
 
 
+@dataclass(frozen=True)
+class CalibrateRequest:
+    """Client → server: report the calibrated τ for one environment.
+
+    ``target_frr_pct`` is the acceptable false-rejection rate in
+    percent (wire-friendly; the calibration layer works in fractions).
+    """
+
+    request_id: str
+    environment: str = "office"
+    target_frr_pct: float = 5.0
+
+
+@dataclass(frozen=True)
+class CalibrateReply:
+    """Server → client: one shard's calibration state for an environment.
+
+    ``shard``/``shards`` work as in :class:`StatsReply` — each shard
+    calibrates from the sessions routed to it, so a client collects
+    ``shards`` replies.  ``sigma_m`` is the σ_d behind the picked
+    ``threshold_m``; ``samples`` how many served ranging errors back it;
+    ``source`` is ``"measured"`` (from served evidence) or ``"prior"``
+    (paper-implied σ, not enough traffic yet).
+    """
+
+    request_id: str
+    shard: int
+    shards: int
+    environment: str
+    threshold_m: float
+    sigma_m: float
+    samples: int
+    target_frr_pct: float
+    source: str
+
+
 Message = Union[
     RangingRequest,
     RoundDecision,
@@ -179,6 +221,8 @@ Message = Union[
     ErrorReply,
     StatsRequest,
     StatsReply,
+    CalibrateRequest,
+    CalibrateReply,
 ]
 
 #: Wire tag ↔ dataclass registry; the tag travels as the ``type`` field.
@@ -189,6 +233,8 @@ MESSAGE_TYPES: dict[str, type] = {
     "error": ErrorReply,
     "stats_request": StatsRequest,
     "stats_reply": StatsReply,
+    "calibrate_request": CalibrateRequest,
+    "calibrate_reply": CalibrateReply,
 }
 _TYPE_TAGS = {cls: tag for tag, cls in MESSAGE_TYPES.items()}
 

@@ -32,7 +32,10 @@ for the in-flight work to empty, then stops the scheduler.  The CLI wires
 this to SIGINT/SIGTERM so ``repro serve`` never drops an accepted
 request on shutdown.  Operational telemetry travels over the same wire:
 a :class:`~repro.service.protocol.StatsRequest` is answered (even while
-draining) with the scheduler's cumulative counters.
+draining) with the scheduler's cumulative counters, and a
+:class:`~repro.service.protocol.CalibrateRequest` with the per-deployment
+threshold calibration distilled from served ranging evidence
+(:mod:`repro.service.calibration`).
 """
 
 from __future__ import annotations
@@ -49,7 +52,10 @@ from repro.sim.pipeline import (
     render_noise,
     schedule,
 )
+from repro.service.calibration import CalibrationStore
 from repro.service.protocol import (
+    CalibrateReply,
+    CalibrateRequest,
     ErrorReply,
     Message,
     ProtocolError,
@@ -177,6 +183,7 @@ class AuthService:
                 f"max_inflight_rounds must be >= 1, got {max_inflight_rounds!r}"
             )
         self._round_gate = asyncio.Semaphore(max_inflight_rounds)
+        self.calibration = CalibrationStore()
         self.shard_index = shard_index
         self.shard_count = shard_count
         self._draining = False
@@ -313,6 +320,48 @@ class AuthService:
             batch_histogram=stats.histogram_text(),
         )
 
+    def calibrate_reply(
+        self, request: CalibrateRequest
+    ) -> CalibrateReply | ErrorReply:
+        """This shard's calibrated τ for one environment as a wire message.
+
+        σ_d comes from the ranging errors of rounds this shard served
+        (:mod:`repro.service.calibration`); until enough traffic has
+        accrued the paper-implied prior answers, flagged ``source=
+        "prior"``.
+        """
+        if not 0 < request.target_frr_pct < 100:
+            return ErrorReply(
+                request_id=request.request_id,
+                code="bad-request",
+                message=(
+                    "target_frr_pct must be in (0, 100), got "
+                    f"{request.target_frr_pct!r}"
+                ),
+            )
+        try:
+            get_environment(request.environment)
+        except KeyError:
+            return ErrorReply(
+                request_id=request.request_id,
+                code="bad-request",
+                message=f"unknown environment {request.environment!r}",
+            )
+        summary = self.calibration.summary(
+            request.environment, target_frr=request.target_frr_pct / 100.0
+        )
+        return CalibrateReply(
+            request_id=request.request_id,
+            shard=self.shard_index,
+            shards=self.shard_count,
+            environment=summary.environment,
+            threshold_m=summary.threshold_m,
+            sigma_m=summary.sigma_m,
+            samples=summary.samples,
+            target_frr_pct=100.0 * summary.target_frr,
+            source=summary.source,
+        )
+
     async def _run_round(self, spec: TrialSpec, trial: int) -> RangingOutcome:
         """One ranging round: RNG stages inline, DSP via the scheduler.
 
@@ -335,9 +384,18 @@ class AuthService:
                 )
                 session.artifacts.recording_auth = recordings.auth
                 session.artifacts.recording_vouch = recordings.vouch
-                return exchange_and_decide(
+                outcome = exchange_and_decide(
                     ctx, negotiation, detections, rng, session.artifacts
                 )
+                if outcome.ok and isinstance(spec.environment, str):
+                    # Free calibration evidence: on the simulated
+                    # substrate the spec carries the true distance, so
+                    # the round's signed ranging error is observable.
+                    self.calibration.record(
+                        spec.environment,
+                        outcome.require_distance() - spec.distance_m,
+                    )
+                return outcome
         finally:
             if not submitted:
                 self.scheduler.retract(1)
@@ -390,6 +448,11 @@ class AuthService:
                 if isinstance(message, StatsRequest):
                     await self._send(
                         writer, write_lock, self.stats_reply(message.request_id)
+                    )
+                    continue
+                if isinstance(message, CalibrateRequest):
+                    await self._send(
+                        writer, write_lock, self.calibrate_reply(message)
                     )
                     continue
                 if not isinstance(message, RangingRequest):

@@ -32,10 +32,11 @@ the DSP pool closes), and waits for them to exit.  A worker that
 receives SIGINT/SIGTERM directly (Ctrl-C hits the whole process group)
 drains itself the same way.
 
-Telemetry fans out: a :class:`~repro.service.protocol.StatsRequest` is
-forwarded to **all** workers, and each answers with its own
-:class:`~repro.service.protocol.StatsReply` carrying ``(shard,
-shards)`` so the client knows when it has the full set.
+Telemetry fans out: a :class:`~repro.service.protocol.StatsRequest` or
+:class:`~repro.service.protocol.CalibrateRequest` is forwarded to
+**all** workers, and each answers with its own reply carrying ``(shard,
+shards)`` so the client knows when it has the full set — each shard
+calibrates from the sessions routed to it.
 """
 
 from __future__ import annotations
@@ -48,6 +49,7 @@ import signal
 import tempfile
 
 from repro.service.protocol import (
+    CalibrateRequest,
     ErrorReply,
     Message,
     ProtocolError,
@@ -325,7 +327,10 @@ class ShardedAuthServer:
                         ErrorReply("", "bad-request", str(error)),
                     )
                     continue
-                if isinstance(message, StatsRequest):
+                if isinstance(message, (StatsRequest, CalibrateRequest)):
+                    # Fan out: every shard answers with its own view
+                    # (stats counters / calibration evidence), tagged
+                    # (shard, shards) so the client can collect the set.
                     for shard in range(self.workers):
                         upstream = await self._upstream(
                             shard, upstreams, pumps, writer, write_lock, closing

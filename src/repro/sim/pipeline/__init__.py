@@ -50,17 +50,21 @@ from repro.sim.pipeline.stages import (
     NegotiationResult,
     PlannedRender,
     RenderedRecordings,
+    RoundEvidence,
     SchedulePlan,
     SessionArtifacts,
     SessionContext,
     SessionTiming,
     detect,
+    exchange,
     exchange_and_decide,
     negotiate,
     radiated_reference_waveform,
     render,
     render_arrivals,
+    render_call_counts,
     render_noise,
+    reset_render_call_counts,
     run_staged,
     schedule,
     session_cost,
@@ -74,6 +78,7 @@ __all__ = [
     "NegotiationResult",
     "PlannedRender",
     "RenderedRecordings",
+    "RoundEvidence",
     "SchedulePlan",
     "SessionArtifacts",
     "SessionContext",
@@ -81,12 +86,15 @@ __all__ = [
     "detect",
     "detect_batch",
     "detect_batch_grouped",
+    "exchange",
     "exchange_and_decide",
     "negotiate",
     "radiated_reference_waveform",
     "render",
     "render_arrivals",
+    "render_call_counts",
     "render_noise",
+    "reset_render_call_counts",
     "run_monolithic",
     "run_staged",
     "schedule",

@@ -10,8 +10,19 @@ dataclasses:
   event-scheduled playback sequence (including interference providers);
 * :func:`render` — the acoustic mixer produces both microphone captures;
 * :func:`detect` — Step IV: both devices run the detector;
-* :func:`exchange_and_decide` — Steps V–VI: the vouch report crosses the
-  secure channel, Eq. 3 runs, and the cost model charges the battery.
+* :func:`exchange` — Steps V–VI: the vouch report crosses the secure
+  channel, Eq. 3 runs, and the cost model charges the battery, producing
+  a threshold-free :class:`RoundEvidence`;
+* :func:`exchange_and_decide` — the historical composition: ``exchange``
+  followed by :meth:`RoundEvidence.outcome`.
+
+The split between ``exchange`` and the decision is the **decide seam**:
+everything up to and including ``exchange`` is independent of the
+authentication threshold τ, so one round's evidence can be fanned out
+across arbitrarily many :class:`repro.core.decisions.DecisionPolicy`
+instances (threshold grids, calibration contexts) without re-rendering
+or re-detecting anything — see ``docs/pipeline.md`` and
+:mod:`repro.eval.sweep`.
 
 A stage's only side channels are the per-session RNG it consumes (in
 exactly the order the monolithic ``RangingSession.run`` always drew — see
@@ -73,6 +84,7 @@ __all__ = [
     "PlannedRender",
     "RenderedRecordings",
     "DetectionPair",
+    "RoundEvidence",
     "radiated_reference_waveform",
     "negotiate",
     "schedule",
@@ -80,9 +92,12 @@ __all__ = [
     "render_noise",
     "render_arrivals",
     "detect",
+    "exchange",
     "exchange_and_decide",
     "session_cost",
     "run_staged",
+    "render_call_counts",
+    "reset_render_call_counts",
 ]
 
 #: An interference provider receives the acoustic window of the session
@@ -225,6 +240,105 @@ class DetectionPair:
 
     auth: DeviceObservation
     vouch: DeviceObservation
+
+
+@dataclass(frozen=True)
+class RoundEvidence:
+    """Everything one round produced *before* any threshold is applied.
+
+    The frozen output of the :func:`exchange` stage: the terminal status,
+    the Eq. 3 distance estimate, both devices' detection observations
+    (candidate peak powers, presence verdicts, detected locations — the
+    estimated-distance inputs), and the modeled round cost.  Evidence is
+    a pure function of the rendered recordings plus the report-transfer
+    RNG draw; the authentication threshold τ never enters it, which is
+    what lets one rendered round feed arbitrarily many
+    :class:`repro.core.decisions.DecisionPolicy` fan-outs
+    (:mod:`repro.eval.sweep`) and lets the service calibrate τ from
+    cached evidence (``docs/service.md``).
+
+    Field-for-field this is the same data as
+    :class:`~repro.core.ranging.RangingOutcome` — deliberately:
+    :meth:`outcome` and :meth:`from_outcome` convert in both directions
+    without loss, so every cached ``CellResult`` (a list of outcomes,
+    keyed by a threshold-free spec fingerprint) *is* reusable evidence.
+    """
+
+    status: RangingStatus
+    distance_m: float | None = None
+    auth_observation: DeviceObservation | None = None
+    vouch_observation: DeviceObservation | None = None
+    elapsed_s: float = 0.0
+    energy_j: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether ranging completed (``distance_m`` is meaningful)."""
+        return self.status is RangingStatus.OK
+
+    @property
+    def presence(self) -> bool:
+        """The presence verdict: every reference signal was detected."""
+        return self.status is not RangingStatus.SIGNAL_NOT_PRESENT
+
+    def require_distance(self) -> float:
+        """The Eq. 3 estimate, raising if the round did not complete."""
+        if self.distance_m is None:
+            raise ValueError(f"round ended with status {self.status}")
+        return self.distance_m
+
+    def outcome(self) -> RangingOutcome:
+        """This evidence as the round's terminal :class:`RangingOutcome`."""
+        return RangingOutcome(
+            status=self.status,
+            distance_m=self.distance_m,
+            auth_observation=self.auth_observation,
+            vouch_observation=self.vouch_observation,
+            elapsed_s=self.elapsed_s,
+            energy_j=self.energy_j,
+        )
+
+    @classmethod
+    def from_outcome(cls, outcome: RangingOutcome) -> "RoundEvidence":
+        """Recover the evidence view of an already-executed round.
+
+        The inverse of :meth:`outcome`; how cached cell results are fanned
+        back out across new decision policies without re-rendering.
+        """
+        return cls(
+            status=outcome.status,
+            distance_m=outcome.distance_m,
+            auth_observation=outcome.auth_observation,
+            vouch_observation=outcome.vouch_observation,
+            elapsed_s=outcome.elapsed_s,
+            energy_j=outcome.energy_j,
+        )
+
+
+# Module-wide render accounting: how many per-session RNG render plans
+# were drawn and how many capture plans went through the deterministic
+# arrival phase.  The counters exist so sweeps can *prove* their
+# O(renders) claim — a 16-threshold ROC sweep must log exactly the same
+# counts as a 1-threshold run (tests/test_sweep.py, tools/roc_smoke.py).
+# Plain ints, no locking: render stages run on one thread per process,
+# and the counters are diagnostics, never inputs to any computation.
+_RENDER_CALLS = {"noise_plans": 0, "arrival_captures": 0}
+
+
+def render_call_counts() -> dict[str, int]:
+    """Snapshot of the process-wide render counters.
+
+    ``noise_plans`` counts :func:`render_noise` calls (one per session);
+    ``arrival_captures`` counts capture jobs finalized by
+    :func:`render_arrivals` (two per session).
+    """
+    return dict(_RENDER_CALLS)
+
+
+def reset_render_call_counts() -> None:
+    """Zero the render counters (test/benchmark bookkeeping)."""
+    for key in _RENDER_CALLS:
+        _RENDER_CALLS[key] = 0
 
 
 def radiated_reference_waveform(
@@ -375,6 +489,7 @@ def render_noise(
     any trial's stream.  The returned :class:`PlannedRender` is pure data;
     everything after it is deterministic.
     """
+    _RENDER_CALLS["noise_plans"] += 1
     mixer = AcousticMixer(
         environment=ctx.environment,
         room=ctx.room,
@@ -408,6 +523,7 @@ def render_arrivals(planned: Sequence[PlannedRender]) -> list[RenderedRecordings
     path — same kernels, same calls).
     """
     jobs = [job for item in planned for job in (item.auth, item.vouch)]
+    _RENDER_CALLS["arrival_captures"] += len(jobs)
     recordings = render_capture_jobs(jobs)
     return [
         RenderedRecordings(auth=recordings[2 * i], vouch=recordings[2 * i + 1])
@@ -456,14 +572,22 @@ def detect(
     return DetectionPair(auth=auth_obs, vouch=vouch_obs)
 
 
-def exchange_and_decide(
+def exchange(
     ctx: SessionContext,
     negotiation: NegotiationResult,
     detections: DetectionPair,
     rng: np.random.Generator,
     artifacts: SessionArtifacts | None = None,
-) -> RangingOutcome:
-    """Steps V–VI: vouch report, Eq. 3, cost model, battery drain."""
+) -> RoundEvidence:
+    """Steps V–VI: vouch report, Eq. 3, cost model, battery drain.
+
+    The last RNG-consuming stage (one report-transfer draw, in the exact
+    historical order) and the last stage with a side effect (the battery
+    drain).  Its :class:`RoundEvidence` output is threshold-free: the
+    decision against any τ — or any richer
+    :class:`repro.core.decisions.DecisionPolicy` — is a pure function of
+    this evidence, evaluated as many times as wanted at no ranging cost.
+    """
     vouch_obs = detections.vouch
     report = VouchReport(
         session_id=ctx.session_id,
@@ -475,7 +599,7 @@ def exchange_and_decide(
     try:
         delivered, report_latency = ctx.link.transfer(report, rng)
     except PairingError:
-        return RangingOutcome(status=RangingStatus.BLUETOOTH_UNAVAILABLE)
+        return RoundEvidence(status=RangingStatus.BLUETOOTH_UNAVAILABLE)
     assert isinstance(delivered, VouchReport)
     if artifacts is not None:
         artifacts.report = delivered
@@ -487,7 +611,7 @@ def exchange_and_decide(
         ctx, detections.auth, negotiation.init_latency_s + report_latency
     )
     ctx.auth_device.battery.drain(energy)
-    return RangingOutcome(
+    return RoundEvidence(
         status=outcome.status,
         distance_m=outcome.distance_m,
         auth_observation=detections.auth,
@@ -495,6 +619,24 @@ def exchange_and_decide(
         elapsed_s=elapsed,
         energy_j=energy,
     )
+
+
+def exchange_and_decide(
+    ctx: SessionContext,
+    negotiation: NegotiationResult,
+    detections: DetectionPair,
+    rng: np.random.Generator,
+    artifacts: SessionArtifacts | None = None,
+) -> RangingOutcome:
+    """Steps V–VI as one terminal stage: :func:`exchange`, then project.
+
+    The historical entry point every execution path calls; since the
+    decide-seam split it is exactly ``exchange(...).outcome()`` — the
+    same field values flowing through a :class:`RoundEvidence`, so the
+    returned :class:`RangingOutcome` is bit-identical to the pre-split
+    implementation (asserted in ``tests/test_pipeline.py``).
+    """
+    return exchange(ctx, negotiation, detections, rng, artifacts).outcome()
 
 
 def session_cost(

@@ -1,0 +1,131 @@
+"""O(renders) ROC sweeps: render parity, fan-out identity, CLI.
+
+The PR's acceptance spec, executable:
+
+* a 16-threshold sweep performs **exactly** as many renders as a
+  1-threshold sweep (counted at the render stages);
+* the fan-out's empirical rates at the paper's four thresholds are
+  identical to four independent single-threshold sweeps run on fresh
+  engines — the amortization changes nothing but the render count;
+* Table I/II cells keep coming out byte-identical through the shared
+  ``model_*_rows`` path;
+* ``python -m repro roc`` renders the report end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.eval.engine import TrialEngine, use_engine
+from repro.eval.frr_far import PAPER_SIGMAS_M, THRESHOLDS_M, GaussianAuthModel
+from repro.eval.reporting import format_percent_row
+from repro.eval.sweep import (
+    DEFAULT_ROC_THRESHOLDS,
+    build_roc_report,
+    model_far_rows,
+    model_frr_rows,
+    run_roc_sweep,
+)
+from repro.sim.pipeline import render_call_counts, reset_render_call_counts
+
+TRIALS = 2  # small but real: 20 cells x 2 trials = 40 rendered rounds
+
+
+def _sweep(thresholds, trials=TRIALS):
+    """One sweep on a fresh serial engine, returning (sweep, renders)."""
+    reset_render_call_counts()
+    with use_engine(TrialEngine(jobs=1)) as engine:
+        sweep = run_roc_sweep(trials=trials, seed=0, thresholds=thresholds)
+        engine.close()
+    return sweep, dict(render_call_counts())
+
+
+def test_grid_sweep_renders_exactly_once():
+    """T=16 costs the same renders as T=1 — decisions are free fan-out."""
+    _, renders_t16 = _sweep(DEFAULT_ROC_THRESHOLDS)
+    _, renders_t1 = _sweep((1.0,))
+    assert renders_t16 == renders_t1
+    assert renders_t16["noise_plans"] > 0
+    assert renders_t16["arrival_captures"] > 0
+
+
+def test_fanout_identical_to_independent_single_threshold_sweeps():
+    """Paper-τ columns of one fanned sweep == four standalone runs."""
+    fanned, _ = _sweep(THRESHOLDS_M)
+    assert fanned.decisions == fanned.rounds * len(THRESHOLDS_M)
+    for i, tau in enumerate(THRESHOLDS_M):
+        single, _ = _sweep((tau,))
+        assert single.rounds == fanned.rounds
+        for scene in fanned.scenes:
+            alone = single.scene(scene.scenario)
+            assert alone.empirical_frr_pct[0] == scene.empirical_frr_pct[i]
+            assert alone.empirical_far_pct[0] == scene.empirical_far_pct[i]
+            assert alone.legit_counts[0] == scene.legit_counts[i]
+            assert alone.attack_counts[0] == scene.attack_counts[i]
+            assert alone.model_frr_pct[0] == scene.model_frr_pct[i]
+            assert alone.model_far_pct[0] == scene.model_far_pct[i]
+
+
+def test_sweep_shares_evidence_with_sigma_measurement_cache():
+    """Within one engine, re-sweeping renders nothing new."""
+    reset_render_call_counts()
+    with use_engine(TrialEngine(jobs=1)) as engine:
+        run_roc_sweep(trials=TRIALS, seed=0, thresholds=(1.0,))
+        first = dict(render_call_counts())
+        run_roc_sweep(trials=TRIALS, seed=0, thresholds=DEFAULT_ROC_THRESHOLDS)
+        engine.close()
+    assert dict(render_call_counts()) == first
+
+
+def test_model_rows_keep_table_cells_byte_identical():
+    """Table I/II model cells via the sweep path == direct per-σ models."""
+    frr_rows = model_frr_rows(PAPER_SIGMAS_M)
+    far_rows = model_far_rows(PAPER_SIGMAS_M)
+    for name, sigma in PAPER_SIGMAS_M.items():
+        model = GaussianAuthModel(sigma_m=sigma)
+        assert frr_rows[name] == [100.0 * model.frr(t) for t in THRESHOLDS_M]
+        assert far_rows[name] == [100.0 * model.far(t) for t in THRESHOLDS_M]
+        assert format_percent_row(frr_rows[name]) == [
+            f"{100.0 * model.frr(t):.1f}%" for t in THRESHOLDS_M
+        ]
+
+
+def test_default_grid_is_a_superset_of_paper_thresholds():
+    assert set(THRESHOLDS_M) <= set(DEFAULT_ROC_THRESHOLDS)
+    assert len(DEFAULT_ROC_THRESHOLDS) == 16
+
+
+def test_sweep_validates_thresholds():
+    with pytest.raises(ValueError):
+        run_roc_sweep(trials=1, thresholds=())
+
+
+def test_empty_populations_render_as_na():
+    """τ below/above the sampled 0.5-2.0 m band leaves a population empty."""
+    sweep, _ = _sweep((0.25, 1.0, 2.125))
+    report = build_roc_report(sweep)
+    for scene in sweep.scenes:
+        assert scene.legit_counts[0] == 0  # no distance <= 0.25
+        assert scene.empirical_frr_pct[0] is None
+        assert scene.attack_counts[2] == 0  # no distance > 2.125
+        assert scene.empirical_far_pct[2] is None
+        assert scene.empirical_frr_pct[1] is not None
+        assert scene.empirical_far_pct[1] is not None
+        assert report.data[f"empirical_frr:{scene.scenario}"][0] is None
+    text = report.to_text()
+    assert "n/a" in text
+    assert report.data["thresholds_m"] == [0.25, 1.0, 2.125]
+    assert report.data["decisions"] == sweep.decisions
+
+
+def test_roc_cli_smoke(capsys):
+    exit_code = main(
+        ["roc", "--quick", "--trials", "2", "--jobs", "1", "--thresholds",
+         "0.5", "1.0", "1.5", "2.0"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "FRR/FAR ROC sweep" in out
+    assert "roc completed" in out
+    assert "office" in out

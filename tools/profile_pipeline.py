@@ -5,7 +5,9 @@ plan through the batched pipeline and prints either
 
 * ``--mode wall`` (default) — the runner's per-stage wall-clock split
   (prepare / render / detect / decide) plus throughput, with negligible
-  overhead, or
+  overhead, followed by a ``policy`` row timing a 16-threshold
+  decision fan-out over the produced evidence (the decide seam's
+  policy phase — what an ROC sweep adds on top of one render set), or
 * ``--mode cumulative`` — a cProfile cumulative-time hot list, the view
   that surfaced the window-gather copies, the per-buffer Butterworth
   redesign, and the per-tone ``np.sin`` loop.
@@ -27,8 +29,10 @@ import cProfile
 import pstats
 from time import perf_counter
 
+from repro.core.decisions import ThresholdGridPolicy
 from repro.dsp.backend import get_backend, select_backend, set_backend
 from repro.eval.engine import AUTH, VOUCH, TrialSpec, build_pair_world
+from repro.eval.sweep import DEFAULT_ROC_THRESHOLDS
 from repro.sim.pipeline import BatchedSessionRunner
 
 try:  # pragma: no cover - import-path convenience
@@ -62,11 +66,12 @@ def _build_plan(trials: int):
     return sessions_per_spec
 
 
-def _run(plan, runner) -> float:
+def _run(plan, runner):
+    outcomes = []
     start = perf_counter()
     for sessions in plan:
-        runner.run(sessions)
-    return perf_counter() - start
+        outcomes.extend(runner.run(sessions))
+    return perf_counter() - start, outcomes
 
 
 def main() -> int:
@@ -102,17 +107,33 @@ def main() -> int:
 
     if args.mode == "wall":
         timings: dict[str, float] = {}
-        elapsed = _run(plan, BatchedSessionRunner(args.batch, stage_timings=timings))
+        elapsed, outcomes = _run(
+            plan, BatchedSessionRunner(args.batch, stage_timings=timings)
+        )
+        # The decide seam's policy phase: fan every round's evidence
+        # across a 16-threshold grid, timed as its own row so the cost
+        # an ROC sweep adds on top of one render set is visible.
+        grid = ThresholdGridPolicy(DEFAULT_ROC_THRESHOLDS)
+        policy_start = perf_counter()
+        for outcome in outcomes:
+            grid.decide(outcome)
+        policy_seconds = perf_counter() - policy_start
         print(f"total {elapsed:.3f}s = {n_trials / elapsed:.1f} trials/s")
         for stage in ("prepare", "render", "detect", "decide"):
             seconds = timings.get(stage, 0.0)
             print(f"  {stage:8s} {seconds:7.3f}s  {100 * seconds / elapsed:5.1f}%")
+        print(
+            f"  {'policy':8s} {policy_seconds:7.3f}s  "
+            f"{100 * policy_seconds / elapsed:5.1f}%"
+            f"  ({len(DEFAULT_ROC_THRESHOLDS)}-threshold fan-out, "
+            f"{len(outcomes) * len(DEFAULT_ROC_THRESHOLDS)} decisions)"
+        )
         return 0
 
     runner = BatchedSessionRunner(args.batch)
     profile = cProfile.Profile()
     profile.enable()
-    elapsed = _run(plan, runner)
+    elapsed, _ = _run(plan, runner)
     profile.disable()
     print(f"total {elapsed:.3f}s = {n_trials / elapsed:.1f} trials/s (profiled)")
     pstats.Stats(profile).sort_stats("cumulative").print_stats(args.limit)

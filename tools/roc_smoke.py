@@ -1,0 +1,93 @@
+"""CI smoke: ROC sweep fan-out is free — same bits, same renders.
+
+The decide seam's deployment contract, executable in seconds:
+
+1. **Fan-out identity** — a single sweep fanned across the paper's four
+   thresholds reports exactly the same empirical FRR/FAR columns as four
+   independent single-threshold sweeps run on fresh engines.  Amortizing
+   the renders may never change a decision.
+2. **Render parity** — the 16-threshold default grid performs exactly as
+   many render-stage calls as a 1-threshold sweep, counted at the
+   ``render_noise`` / ``render_arrivals`` kernels themselves.
+
+Run with ``PYTHONPATH=src python tools/roc_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.engine import TrialEngine, use_engine
+from repro.eval.frr_far import THRESHOLDS_M
+from repro.eval.sweep import DEFAULT_ROC_THRESHOLDS, run_roc_sweep
+from repro.sim.pipeline import render_call_counts, reset_render_call_counts
+
+
+def sweep_once(thresholds: tuple[float, ...], trials: int):
+    """One sweep on a fresh serial engine; returns (sweep, render counts)."""
+    reset_render_call_counts()
+    with use_engine(TrialEngine(jobs=1)) as engine:
+        sweep = run_roc_sweep(trials=trials, seed=0, thresholds=thresholds)
+        engine.close()
+    return sweep, dict(render_call_counts())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trials", type=int, default=2, help="trials per scene cell"
+    )
+    args = parser.parse_args()
+
+    fanned, renders_grid = sweep_once(tuple(THRESHOLDS_M), args.trials)
+    print(
+        f"fanned sweep: {fanned.rounds} rounds x {len(THRESHOLDS_M)} "
+        f"thresholds = {fanned.decisions} decisions, renders={renders_grid}"
+    )
+
+    failures = 0
+    for i, tau in enumerate(THRESHOLDS_M):
+        single, _ = sweep_once((tau,), args.trials)
+        for scene in fanned.scenes:
+            alone = single.scene(scene.scenario)
+            same = (
+                alone.empirical_frr_pct[0] == scene.empirical_frr_pct[i]
+                and alone.empirical_far_pct[0] == scene.empirical_far_pct[i]
+                and alone.legit_counts[0] == scene.legit_counts[i]
+                and alone.attack_counts[0] == scene.attack_counts[i]
+            )
+            if not same:
+                failures += 1
+                print(
+                    f"MISMATCH tau={tau} scene={scene.scenario}: "
+                    f"fanned (frr={scene.empirical_frr_pct[i]}, "
+                    f"far={scene.empirical_far_pct[i]}) != independent "
+                    f"(frr={alone.empirical_frr_pct[0]}, "
+                    f"far={alone.empirical_far_pct[0]})",
+                    file=sys.stderr,
+                )
+    print(
+        f"fan-out identity: {len(THRESHOLDS_M)} thresholds x "
+        f"{len(fanned.scenes)} scenes vs independent runs, "
+        f"{failures} mismatches"
+    )
+
+    _, renders_t16 = sweep_once(DEFAULT_ROC_THRESHOLDS, args.trials)
+    _, renders_t1 = sweep_once((1.0,), args.trials)
+    parity = renders_t16 == renders_t1 and renders_t16["noise_plans"] > 0
+    print(
+        f"render parity: T={len(DEFAULT_ROC_THRESHOLDS)} renders "
+        f"{renders_t16} vs T=1 renders {renders_t1} -> "
+        f"{'EQUAL' if parity else 'MISMATCH'}"
+    )
+
+    if failures or not parity:
+        print("roc smoke FAILED", file=sys.stderr)
+        return 1
+    print("roc smoke OK: fan-out is bit-identical and render-free")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
