@@ -253,6 +253,38 @@ def build_parser() -> argparse.ArgumentParser:
             f"{', '.join(available_backends())}, or 'auto'"
         ),
     )
+    serve_parser.add_argument(
+        "--dsp-timeout-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "fail a stacked DSP pass that exceeds this budget closed "
+            "(its rounds answer a retriable timeout error and the "
+            "executor is marked suspect); default: no timeout"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-respawns",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "sharded tier only: crashes of one shard slot tolerated "
+            "inside the crash window before its circuit breaker opens "
+            "and it stays down (requests answer unavailable)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--respawn-backoff-s",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help=(
+            "sharded tier only: base of the bounded-exponential delay "
+            "before respawning a crashed shard worker"
+        ),
+    )
     return parser
 
 
@@ -354,7 +386,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     dsp_workers=args.dsp_workers,
                     dsp_executor=args.dsp_executor,
                     max_inflight_rounds=args.max_inflight,
+                    dsp_timeout_s=args.dsp_timeout_s,
                 ),
+                max_respawns=args.max_respawns,
+                respawn_backoff_s=args.respawn_backoff_s,
             )
             async with front:
                 server = await front.serve(args.host, args.port)
@@ -374,6 +409,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 dsp_workers=args.dsp_workers,
                 dsp_executor=args.dsp_executor,
                 max_inflight_rounds=args.max_inflight,
+                dsp_timeout_s=args.dsp_timeout_s,
             )
             async with service:
                 server = await service.serve(args.host, args.port)

@@ -3,7 +3,7 @@
 ``repro.service`` turns the repo's pure pipeline into a deployable
 asyncio service (the flow PIANO's paper targets: an auth request arrives,
 the ranging protocol runs, accept/reject streams back within a speech
-interaction).  Eight modules:
+interaction).  Nine modules:
 
 * **protocol** — the wire messages (flat frozen dataclasses) and their
   newline-delimited JSON codec, plus the request → trial mapping and the
@@ -24,12 +24,21 @@ interaction).  Eight modules:
   environment, σ_d estimation, and τ selection for a target FRR through
   the §VI-C Gaussian model (read over the wire via ``calibrate``);
 * **shard** — :class:`ShardedAuthServer`, the multi-process front tier:
-  one TCP endpoint, N worker processes, consistent session → shard
-  routing (``python -m repro serve --workers N``);
+  one TCP endpoint, N *supervised* worker processes (crash detection,
+  pinned-slot respawn with bounded backoff, a crash-loop circuit
+  breaker), consistent session → shard routing
+  (``python -m repro serve --workers N``);
 * **client** — :class:`AuthClient`, an async client multiplexing
-  concurrent requests over one connection;
+  concurrent requests over one connection, with :class:`RetryPolicy`
+  retries (idempotent by request id) and transparent reconnect;
+* **faults** — :class:`FaultPlan` / :class:`FaultInjector`, the
+  deterministic fault-injection seam (kill a worker, delay a batch,
+  drop/truncate a frame, bounce one request busy) that lets pytest and
+  ``tools/chaos_smoke.py`` exercise every recovery path above;
 * **loadgen** — open- and closed-loop load generation with latency
-  percentiles (``tools/loadgen.py`` and the scaling benchmark).
+  percentiles, per-class reply counts, and first-attempt vs
+  retry-inflated latency (``tools/loadgen.py`` and the scaling
+  benchmark).
 
 Contracts (details in ``docs/service.md``):
 
@@ -44,6 +53,11 @@ Contracts (details in ``docs/service.md``):
   ``busy`` error instead of unbounded queueing.
 * **Graceful shutdown** — draining finishes accepted streams, answers
   new requests with ``busy``, and closes the DSP executors.
+* **Fail closed** — every failure path (deadline expiry, DSP timeout,
+  worker crash, unexpected exception) produces a structured error
+  reply, never a grant; under any injected fault schedule the granted
+  set is a subset of the unfaulted run's and every completed decision
+  is bit-identical to it.
 """
 
 from repro.service.calibration import (
@@ -51,11 +65,26 @@ from repro.service.calibration import (
     CalibrationSummary,
     robust_sigma,
 )
-from repro.service.client import AuthClient, ServedAuthentication, ServiceError
+from repro.service.client import (
+    AuthClient,
+    RetryPolicy,
+    ServedAuthentication,
+    ServiceError,
+)
 from repro.service.executor import RoundDSPJob, execute_dsp_jobs, round_dsp_job
+from repro.service.faults import (
+    BusyOnce,
+    DelayBatch,
+    FaultInjector,
+    FaultPlan,
+    FrameFault,
+    KillWorker,
+)
 from repro.service.loadgen import LoadgenReport, run_loadgen
 from repro.service.protocol import (
+    ERROR_CODES,
     MESSAGE_TYPES,
+    RETRIABLE_ERROR_CODES,
     CalibrateReply,
     CalibrateRequest,
     ErrorReply,
@@ -75,6 +104,7 @@ from repro.service.protocol import (
 from repro.service.scheduler import (
     DSP_EXECUTOR_KINDS,
     BatchingScheduler,
+    DeadlineExceeded,
     SchedulerStats,
     ServiceOverloaded,
 )
@@ -87,20 +117,30 @@ from repro.service.shard import (
 
 __all__ = [
     "DSP_EXECUTOR_KINDS",
+    "ERROR_CODES",
     "MESSAGE_TYPES",
+    "RETRIABLE_ERROR_CODES",
     "AuthClient",
     "AuthService",
     "BatchingScheduler",
+    "BusyOnce",
     "CalibrateReply",
     "CalibrateRequest",
     "CalibrationStore",
     "CalibrationSummary",
+    "DeadlineExceeded",
+    "DelayBatch",
     "ErrorReply",
+    "FaultInjector",
+    "FaultPlan",
+    "FrameFault",
+    "KillWorker",
     "LoadgenReport",
     "Message",
     "ProtocolError",
     "RangingRequest",
     "RequestComplete",
+    "RetryPolicy",
     "RoundDSPJob",
     "RoundDecision",
     "SchedulerStats",

@@ -1,0 +1,209 @@
+"""Deterministic fault injection for the serving tier.
+
+Production failure modes — a SIGKILLed shard worker, a wedged DSP batch,
+a lost or corrupted reply frame, a transient ``busy`` bounce — are
+ordinarily timing accidents, which makes them miserable to test.  This
+module turns each of them into **data**: a :class:`FaultPlan` is a
+frozen, picklable description of *exactly which* fault fires *exactly
+when*, counted in deterministic units (requests routed, batches
+dispatched, frames sent) rather than wall-clock time.  The same plan
+therefore produces the same failure schedule on every run, so ordinary
+pytest tests — and the gating ``tools/chaos_smoke.py`` — can exercise
+every recovery path in the serving tier.
+
+Where each fault kind is consumed:
+
+* :class:`KillWorker` — the shard router
+  (:class:`~repro.service.shard.ShardedAuthServer`) SIGKILLs worker
+  ``shard`` immediately after forwarding it its ``after_requests``-th
+  ranging request.  Exercises worker supervision: pump EOF → structured
+  retriable errors for that shard's in-flight requests → supervised
+  respawn with backoff → retries land on the respawned worker.
+* :class:`DelayBatch` — the :class:`~repro.service.scheduler.BatchingScheduler`
+  sleeps ``delay_ms`` before *admitting* its ``batch_index``-th batch
+  (never mid-batch), which is how deadline expiry is exercised
+  deterministically.
+* :class:`FrameFault` — the worker's
+  :class:`~repro.service.AuthService` drops or truncates its
+  ``frame_index``-th outgoing reply frame, exercising client-side
+  attempt timeouts, reconnect, and retry.
+* :class:`BusyOnce` — the service answers its ``request_index``-th
+  ranging request with a single ``busy`` error (the request is never
+  executed), exercising client retry on backpressure.
+
+The safety invariant all of this exists to test: **under any injected
+fault schedule, the set of granted sessions is a subset of the unfaulted
+run's, and every decision that does complete is bit-identical to the
+unfaulted run** — faults may delay or deny, never grant differently
+(fail closed).
+
+A :class:`FaultPlan` is immutable shared data; each process that
+consumes it wraps it in its own :class:`FaultInjector`, which holds the
+mutable counters.  The plan crosses the spawn boundary to shard workers
+via ``service_options`` (it pickles), and each worker counts its own
+batches and frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BusyOnce",
+    "DelayBatch",
+    "FaultInjector",
+    "FaultPlan",
+    "FrameFault",
+    "KillWorker",
+]
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """SIGKILL worker ``shard`` after routing it ``after_requests`` requests.
+
+    ``after_requests`` counts ranging requests the router forwarded to
+    that shard (1-based: ``after_requests=2`` kills right after the
+    second forward).  Stats/calibrate fan-out traffic is not counted.
+    """
+
+    shard: int
+    after_requests: int = 1
+
+
+@dataclass(frozen=True)
+class DelayBatch:
+    """Delay the scheduler's ``batch_index``-th dispatched batch.
+
+    ``batch_index`` is 0-based over batches the collector picks up.  The
+    delay is applied **before admission** — pending rounds whose
+    deadline lapses during the delay expire with a structured timeout,
+    and the rounds that do get admitted run as one normal batch.
+    """
+
+    batch_index: int
+    delay_ms: float
+
+
+@dataclass(frozen=True)
+class FrameFault:
+    """Drop or truncate the service's ``frame_index``-th outgoing frame.
+
+    ``frame_index`` is 0-based over every reply frame the
+    :class:`~repro.service.AuthService` writes (all connections, in send
+    order).  ``mode="drop"`` suppresses the frame entirely;
+    ``mode="truncate"`` writes only the first half of its bytes (still
+    newline-terminated), producing a malformed JSON line on the wire.
+    """
+
+    frame_index: int
+    mode: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("drop", "truncate"):
+            raise ValueError(
+                f"mode must be 'drop' or 'truncate', got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BusyOnce:
+    """Bounce the service's ``request_index``-th ranging request with busy.
+
+    0-based over ranging requests the service accepts for execution;
+    the bounced request performs no work (nothing is partially
+    executed), exactly like a real backpressure rejection.
+    """
+
+    request_index: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults (immutable, picklable).
+
+    Empty tuples everywhere mean "no faults" — the serving tier treats a
+    ``None`` plan and an empty plan identically.
+    """
+
+    kill_workers: tuple[KillWorker, ...] = ()
+    delay_batches: tuple[DelayBatch, ...] = ()
+    frame_faults: tuple[FrameFault, ...] = ()
+    busy_once: tuple[BusyOnce, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.kill_workers
+            or self.delay_batches
+            or self.frame_faults
+            or self.busy_once
+        )
+
+    @property
+    def has_worker_faults(self) -> bool:
+        """Whether any fault kind is consumed inside a worker process."""
+        return bool(
+            self.delay_batches or self.frame_faults or self.busy_once
+        )
+
+
+@dataclass
+class FaultInjector:
+    """Per-process runtime of a :class:`FaultPlan`: plan + mutable counters.
+
+    Each consuming component calls exactly one ``take_*`` method per
+    countable event; a fault fires at most once.  Counters are plain
+    ints advanced on the (single-threaded) event loop, so a fixed
+    request order yields a fixed fault schedule.
+    """
+
+    plan: FaultPlan
+    _routed: dict[int, int] = field(default_factory=dict)
+    _batches: int = 0
+    _frames: int = 0
+    _requests: int = 0
+    _fired: set = field(default_factory=set)
+
+    def _fire_once(self, fault) -> bool:
+        if fault in self._fired:
+            return False
+        self._fired.add(fault)
+        return True
+
+    def take_kill_worker(self, shard: int) -> bool:
+        """Router hook: count one forwarded request; True = kill now."""
+        count = self._routed.get(shard, 0) + 1
+        self._routed[shard] = count
+        for fault in self.plan.kill_workers:
+            if fault.shard == shard and fault.after_requests == count:
+                return self._fire_once(fault)
+        return False
+
+    def take_batch_delay_s(self) -> float:
+        """Scheduler hook: count one batch; seconds to stall its admission."""
+        index = self._batches
+        self._batches += 1
+        delay = 0.0
+        for fault in self.plan.delay_batches:
+            if fault.batch_index == index and self._fire_once(fault):
+                delay += fault.delay_ms / 1000.0
+        return delay
+
+    def take_frame_fault(self) -> str | None:
+        """Server send hook: count one frame; ``"drop"``/``"truncate"``/None."""
+        index = self._frames
+        self._frames += 1
+        for fault in self.plan.frame_faults:
+            if fault.frame_index == index and self._fire_once(fault):
+                return fault.mode
+        return None
+
+    def take_busy(self) -> bool:
+        """Server accept hook: count one ranging request; True = bounce it."""
+        index = self._requests
+        self._requests += 1
+        for fault in self.plan.busy_once:
+            if fault.request_index == index and self._fire_once(fault):
+                return True
+        return False

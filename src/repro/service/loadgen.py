@@ -37,7 +37,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.service.client import AuthClient, ServiceError
+from repro.service.client import AuthClient, RetryPolicy, ServiceError
 
 __all__ = ["LoadgenReport", "RequestSample", "run_loadgen"]
 
@@ -57,12 +57,18 @@ class RequestSample:
     scheduled_s: float
     started_s: float
     finished_s: float
-    outcome: str  # "ok" | "busy" | "failed"
+    outcome: str  # "ok" | "busy" | "timeout" | "error" | "failed"
     rounds: int
+    #: Attempts the client spent (1 = first try sufficed; > 1 = retried).
+    attempts: int = 1
 
     @property
     def latency_s(self) -> float:
         return self.finished_s - self.scheduled_s
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
 
 
 @dataclass
@@ -79,12 +85,27 @@ class LoadgenReport:
     requests: int = 0
     ok: int = 0
     busy: int = 0
+    #: Requests that exhausted their budget on a structured ``timeout``.
+    timeout: int = 0
+    #: Requests ending in any other structured error reply
+    #: (``unavailable`` past the retry budget, ``internal-error``, ...).
+    error: int = 0
+    #: Requests ending in transport failure (no structured reply at all).
     failed: int = 0
+    #: Requests (any outcome) that needed more than one attempt — the
+    #: measure of how much self-healing the run exercised.
+    retried: int = 0
     rounds: int = 0
     measured_s: float = 0.0
     requests_per_s: float = 0.0
     rounds_per_s: float = 0.0
+    #: Latency of ok requests as experienced (retry-inflated: backoff
+    #: and re-execution included).
     latency_ms: dict[str, float] = field(default_factory=dict)
+    #: Latency of ok requests that succeeded on their first attempt —
+    #: the service's intrinsic latency, separated so chaos runs can
+    #: compare it against the retry-inflated figure above.
+    first_attempt_latency_ms: dict[str, float] = field(default_factory=dict)
     #: One entry per shard, from the server's ``stats_reply`` messages.
     scheduler_stats: list[dict] | None = None
 
@@ -100,7 +121,10 @@ class LoadgenReport:
             "requests": self.requests,
             "ok": self.ok,
             "busy": self.busy,
+            "timeout": self.timeout,
+            "error": self.error,
             "failed": self.failed,
+            "retried": self.retried,
             "rounds": self.rounds,
             "measured_s": round(self.measured_s, 4),
             "requests_per_s": round(self.requests_per_s, 3),
@@ -108,6 +132,10 @@ class LoadgenReport:
             "latency_ms": {
                 key: round(value, 3)
                 for key, value in self.latency_ms.items()
+            },
+            "first_attempt_latency_ms": {
+                key: round(value, 3)
+                for key, value in self.first_attempt_latency_ms.items()
             },
             "scheduler_stats": self.scheduler_stats,
         }
@@ -129,7 +157,10 @@ def summarize(
     report.requests = len(measured)
     report.ok = sum(1 for s in measured if s.outcome == "ok")
     report.busy = sum(1 for s in measured if s.outcome == "busy")
+    report.timeout = sum(1 for s in measured if s.outcome == "timeout")
+    report.error = sum(1 for s in measured if s.outcome == "error")
     report.failed = sum(1 for s in measured if s.outcome == "failed")
+    report.retried = sum(1 for s in measured if s.retried)
     report.rounds = sum(s.rounds for s in measured)
     if measured:
         span_start = min(s.scheduled_s for s in measured)
@@ -137,15 +168,26 @@ def summarize(
         report.measured_s = max(span_end - span_start, 1e-9)
         report.requests_per_s = report.requests / report.measured_s
         report.rounds_per_s = report.rounds / report.measured_s
-        latencies = sorted(s.latency_s for s in measured if s.outcome == "ok")
-        if latencies:
-            report.latency_ms = {
+
+        def digest(latencies: list[float]) -> dict[str, float]:
+            return {
                 "p50": 1e3 * _percentile(latencies, 0.50),
                 "p95": 1e3 * _percentile(latencies, 0.95),
                 "p99": 1e3 * _percentile(latencies, 0.99),
                 "mean": 1e3 * sum(latencies) / len(latencies),
                 "max": 1e3 * latencies[-1],
             }
+
+        latencies = sorted(s.latency_s for s in measured if s.outcome == "ok")
+        if latencies:
+            report.latency_ms = digest(latencies)
+        first_attempt = sorted(
+            s.latency_s
+            for s in measured
+            if s.outcome == "ok" and not s.retried
+        )
+        if first_attempt:
+            report.first_attempt_latency_ms = digest(first_attempt)
     return report
 
 
@@ -159,25 +201,42 @@ async def _issue(
     rounds: int,
     first_trial: int,
     threshold_m: float,
+    deadline_ms: float,
+    retry: RetryPolicy | None,
     samples: list[RequestSample],
 ) -> None:
-    """Send one request, await its stream, and record the sample."""
+    """Send one request, await its stream, and record the sample.
+
+    Outcome classes: ``ok`` (grant/deny decided), ``busy`` / ``timeout``
+    (structured backpressure / deadline replies surviving the retry
+    budget), ``error`` (any other structured error reply), ``failed``
+    (transport-level loss — no structured reply at all).  ``attempts``
+    counts what the retry budget spent either way.
+    """
     loop = asyncio.get_running_loop()
     started = loop.time()
-    outcome, served_rounds = "ok", 0
+    outcome, served_rounds, attempts = "ok", 0, 1
     try:
         served = await client.authenticate(
+            retry=retry,
             environment=environment,
             distance_m=distance_m,
             seed=seed,
             rounds=rounds,
             first_trial=first_trial,
             threshold_m=threshold_m,
+            deadline_ms=deadline_ms,
         )
         served_rounds = len(served.rounds)
+        attempts = served.attempts
     except ServiceError as error:
-        outcome = "busy" if error.code == "busy" else "failed"
-    except (ConnectionError, OSError):
+        attempts = getattr(error, "attempts", 1)
+        if error.code in ("busy", "timeout"):
+            outcome = error.code
+        else:
+            outcome = "error"
+    except (ConnectionError, OSError) as error:
+        attempts = getattr(error, "attempts", 1)
         outcome = "failed"
     samples.append(
         RequestSample(
@@ -186,6 +245,7 @@ async def _issue(
             finished_s=loop.time(),
             outcome=outcome,
             rounds=served_rounds,
+            attempts=attempts,
         )
     )
 
@@ -207,6 +267,8 @@ async def run_loadgen(
     threshold_m: float = 2.0,
     connections: int | None = None,
     rng_seed: int = 0,
+    deadline_ms: float = 0.0,
+    retry: RetryPolicy | None = None,
 ) -> LoadgenReport:
     """Drive the service and return the measured :class:`LoadgenReport`.
 
@@ -215,7 +277,10 @@ async def run_loadgen(
     ``rate_rps`` Poisson arrivals (``rng_seed`` fixes the arrival
     process, so a run is reproducible end to end).  ``connections``
     caps the TCP connections the generator opens (requests multiplex);
-    it defaults to ``concurrency`` capped at 8.
+    it defaults to ``concurrency`` capped at 8.  ``deadline_ms``
+    stamps every request with a server-side deadline budget, and
+    ``retry`` arms the client's self-healing path (both off by
+    default, keeping steady-state benchmarks comparable to before).
     """
     if mode not in LOADGEN_MODES:
         raise ValueError(f"mode must be one of {LOADGEN_MODES}, got {mode!r}")
@@ -246,6 +311,7 @@ async def run_loadgen(
             "rounds": rounds,
             "first_trial": (index // sessions) * rounds,
             "threshold_m": threshold_m,
+            "deadline_ms": deadline_ms,
         }
 
     try:
@@ -257,7 +323,11 @@ async def run_loadgen(
                     fields = next_request()
                     now = loop.time()
                     await _issue(
-                        client, scheduled_s=now, samples=samples, **fields
+                        client,
+                        scheduled_s=now,
+                        samples=samples,
+                        retry=retry,
+                        **fields,
                     )
 
             await asyncio.gather(
@@ -284,6 +354,7 @@ async def run_loadgen(
                             client,
                             scheduled_s=scheduled,
                             samples=samples,
+                            retry=retry,
                             **fields,
                         )
                     )
@@ -313,6 +384,8 @@ async def run_loadgen(
                     "queue_high_water": reply.queue_high_water,
                     "linger_wait_s": round(reply.linger_wait_s, 6),
                     "batch_histogram": reply.batch_histogram,
+                    "deadline_expired": reply.deadline_expired,
+                    "dsp_timeouts": reply.dsp_timeouts,
                 }
                 for reply in replies
             ]

@@ -10,9 +10,13 @@ newline-delimited JSON encoding (one message per line):
   streamed as soon as the round's outcome exists;
 * :class:`RequestComplete` — server → client, the aggregate PIANO
   grant/deny decision terminating the stream;
-* :class:`ErrorReply` — server → client when a request is malformed
-  (``bad-request``), rejected by backpressure (``busy``), or failed
-  unexpectedly (``internal``).  It also terminates the stream.
+* :class:`ErrorReply` — server → client when a request cannot produce a
+  decision.  It also terminates the stream.  ``code`` comes from
+  :data:`ERROR_CODES`; the codes in :data:`RETRIABLE_ERROR_CODES`
+  (``busy``, ``timeout``, ``unavailable``) invite an idempotent retry —
+  routing is deployment-pinned, so a retried request reproduces the
+  original decision bit for bit.  Every error path fails **closed**: an
+  error is never a grant.
 
 Further messages carry operational traffic rather than authentication
 rounds: :class:`StatsRequest` asks for the server's cumulative scheduler
@@ -48,6 +52,8 @@ from repro.core.ranging import RangingOutcome, RangingStatus
 from repro.eval.engine import TrialSpec
 
 __all__ = [
+    "ERROR_CODES",
+    "RETRIABLE_ERROR_CODES",
     "ProtocolError",
     "RangingRequest",
     "RoundDecision",
@@ -69,6 +75,32 @@ __all__ = [
 
 class ProtocolError(ValueError):
     """A wire message could not be decoded or validated."""
+
+
+#: The failure-mode vocabulary of :class:`ErrorReply.code` (the full
+#: failure-mode → code table lives in ``docs/service.md``):
+#:
+#: * ``bad-request`` — malformed, mistyped, or unknown-field input; not
+#:   retriable (the same bytes will fail the same way);
+#: * ``busy`` — backpressure or draining; nothing was executed;
+#: * ``timeout`` — the request's ``deadline_ms`` lapsed before its round
+#:   was admitted to a DSP batch, or the DSP executor timed out; the
+#:   round is denied (fail closed), never partially decided;
+#: * ``unavailable`` — the shard worker owning the session exited
+#:   mid-request (or is restarting/crash-looped); nothing was replayed;
+#: * ``internal-error`` — an unexpected exception; fail closed.
+ERROR_CODES = (
+    "bad-request",
+    "busy",
+    "timeout",
+    "unavailable",
+    "internal-error",
+)
+
+#: Codes a client should retry (with capped, jittered backoff).  Retries
+#: are idempotent by request id: the decision of a successful retry is
+#: bit-identical to what the original attempt would have produced.
+RETRIABLE_ERROR_CODES = frozenset({"busy", "timeout", "unavailable"})
 
 
 @dataclass(frozen=True)
@@ -97,6 +129,12 @@ class RangingRequest:
         of one cell (as the benchmark does).
     threshold_m:
         The PIANO acceptance threshold τ.
+    deadline_ms:
+        Per-request deadline budget in milliseconds, measured from
+        server receipt; ``0`` (the default) disables it.  A round whose
+        deadline lapses before it is admitted to a DSP batch fails
+        closed with a ``timeout`` error — expiry is checked at batch
+        admission only, never mid-batch, so batches stay deterministic.
     """
 
     request_id: str
@@ -106,6 +144,7 @@ class RangingRequest:
     rounds: int = 1
     first_trial: int = 0
     threshold_m: float = 1.0
+    deadline_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -138,14 +177,18 @@ class RequestComplete:
 class ErrorReply:
     """Server → client: the request failed; ends the stream.
 
-    ``code`` is one of ``bad-request`` (malformed or unknown fields),
-    ``busy`` (backpressure: the round queue is full — retry later), or
-    ``internal``.
+    ``code`` is one of :data:`ERROR_CODES`; the subset
+    :data:`RETRIABLE_ERROR_CODES` invites an idempotent retry.  An
+    error is never a grant (fail closed).
     """
 
     request_id: str
     code: str
     message: str
+
+    @property
+    def retriable(self) -> bool:
+        return self.code in RETRIABLE_ERROR_CODES
 
 
 @dataclass(frozen=True)
@@ -164,7 +207,10 @@ class StatsReply:
     ``shards`` replies per request.  ``batch_histogram`` is the
     batch-size histogram rendered as ``"size:count,..."`` (ascending by
     size) — the wire messages are flat scalars by design, so the
-    histogram travels as text.
+    histogram travels as text.  ``deadline_expired`` counts rounds whose
+    request deadline lapsed before batch admission; ``dsp_timeouts``
+    counts stacked DSP passes that exceeded the executor timeout (any
+    non-zero value marks the executor *suspect*).
     """
 
     request_id: str
@@ -176,6 +222,8 @@ class StatsReply:
     queue_high_water: int
     linger_wait_s: float
     batch_histogram: str
+    deadline_expired: int
+    dsp_timeouts: int
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,18 @@ Backpressure: at most ``max_pending`` rounds may be queued; beyond that
 :meth:`BatchingScheduler.run_round` raises :class:`ServiceOverloaded`,
 which the server translates into a ``busy`` :class:`ErrorReply` so
 callers can retry instead of piling unbounded work onto the loop.
+
+Deadlines: a round may carry an ``expires_at`` loop time.  Expiry is
+enforced **at batch admission only** — when the collector is about to
+dispatch a batch, rounds whose deadline already lapsed fail with
+:class:`DeadlineExceeded` and the rest run as one normal stacked pass.
+Never mid-batch: batch composition stays a pure scheduling decision and
+admitted rounds always complete, so decisions remain bit-identical to
+the unfaulted/undeadlined run.  Independently, ``dsp_timeout_s`` bounds
+how long one stacked pass may take on the executor; a pass that exceeds
+it fails all its rounds closed with :class:`DeadlineExceeded` and marks
+the executor *suspect* (``SchedulerStats.dsp_timeouts``) — a wedged DSP
+job can stall its own batch, never the service.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from repro.service.executor import (
     round_dsp_job,
     warm_worker,
 )
+from repro.service.faults import FaultInjector
 from repro.sim.pipeline import (
     DEFAULT_BATCH_SIZE,
     DetectionPair,
@@ -51,6 +64,7 @@ from repro.sim.pipeline import (
 __all__ = [
     "BatchingScheduler",
     "DSP_EXECUTOR_KINDS",
+    "DeadlineExceeded",
     "SchedulerStats",
     "ServiceOverloaded",
 ]
@@ -64,6 +78,16 @@ DSP_EXECUTOR_KINDS = ("thread", "process")
 
 class ServiceOverloaded(RuntimeError):
     """The round queue is full — backpressure; the caller should retry."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A round ran out of time — its deadline lapsed before batch
+    admission, or its stacked DSP pass exceeded ``dsp_timeout_s``.
+
+    Always fails closed: the server maps this to a structured
+    ``timeout`` error reply (a deny), never a grant.  Retriable — a
+    retry re-executes the round deterministically from its request id.
+    """
 
 
 @dataclass
@@ -88,6 +112,11 @@ class SchedulerStats:
     linger_wait_s: float = 0.0
     #: Highest number of rounds ever pending in the queue at once.
     queue_high_water: int = 0
+    #: Rounds whose ``deadline_ms`` lapsed before batch admission.
+    deadline_expired: int = 0
+    #: Stacked passes that exceeded ``dsp_timeout_s`` — each marks the
+    #: DSP executor *suspect* (a wedged worker or pathological batch).
+    dsp_timeouts: int = 0
 
     @property
     def rounds_per_batch(self) -> float:
@@ -123,6 +152,9 @@ class _PendingRound:
     future: "asyncio.Future[tuple[RenderedRecordings, DetectionPair]]" = field(
         repr=False, default=None  # type: ignore[assignment]
     )
+    #: Loop time after which the round must not be admitted to a batch
+    #: (``None`` = no deadline).
+    expires_at: float | None = None
 
 
 def _execute_rounds(
@@ -185,6 +217,17 @@ class BatchingScheduler:
         Externally owned executor to use instead; it is not shut down by
         :meth:`stop`.  With ``dsp_executor="process"`` it must be a
         process pool whose workers can import :mod:`repro`.
+    dsp_timeout_s:
+        Upper bound on one stacked pass.  A pass that exceeds it fails
+        every round in its batch with :class:`DeadlineExceeded` (the
+        server answers ``timeout``, a deny) and increments
+        ``stats.dsp_timeouts`` — the executor is then *suspect*; the
+        abandoned work may still be burning a worker underneath.
+        ``None`` (default) never times a pass out.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector` supplying
+        deterministic batch-admission delays for tests and the chaos
+        smoke.  ``None`` injects nothing.
     """
 
     def __init__(
@@ -196,6 +239,8 @@ class BatchingScheduler:
         dsp_workers: int = 1,
         dsp_executor: str = "thread",
         executor: Executor | None = None,
+        dsp_timeout_s: float | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if max_batch is not None and max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
@@ -210,7 +255,13 @@ class BatchingScheduler:
                 f"dsp_executor must be one of {DSP_EXECUTOR_KINDS}, "
                 f"got {dsp_executor!r}"
             )
+        if dsp_timeout_s is not None and dsp_timeout_s <= 0:
+            raise ValueError(
+                f"dsp_timeout_s must be > 0, got {dsp_timeout_s!r}"
+            )
         self.max_batch = max_batch or DEFAULT_BATCH_SIZE
+        self.dsp_timeout_s = dsp_timeout_s
+        self.faults = faults
         self.linger_s = linger_ms / 1000.0
         self.max_pending = max_pending
         self.dsp_workers = dsp_workers
@@ -320,18 +371,24 @@ class BatchingScheduler:
         negotiation: NegotiationResult,
         planned: PlannedRender,
         announced: bool = False,
+        expires_at: float | None = None,
     ) -> tuple[RenderedRecordings, DetectionPair]:
         """Queue one prepared round; resolves with its recordings+detections.
 
         ``announced=True`` consumes one prior :meth:`announce` slot
         (whether or not the enqueue succeeds).  Raises
         :class:`ServiceOverloaded` immediately when ``max_pending``
-        rounds are already queued.
+        rounds are already queued.  ``expires_at`` (a loop time) makes
+        the round raise :class:`DeadlineExceeded` instead of running if
+        its batch is admitted after that instant; once admitted, a round
+        always completes.
         """
         if announced:
             self.retract(1)
         future = asyncio.get_running_loop().create_future()
-        item = _PendingRound(context, negotiation, planned, future)
+        item = _PendingRound(
+            context, negotiation, planned, future, expires_at=expires_at
+        )
         try:
             self._queue.put_nowait(item)
         except asyncio.QueueFull:
@@ -419,9 +476,51 @@ class BatchingScheduler:
         batch = [item for item in batch if not item.future.done()]
         if not batch:
             return
+        if self.faults is not None:
+            delay_s = self.faults.take_batch_delay_s()
+            if delay_s > 0.0:
+                await asyncio.sleep(delay_s)
+        # Deadline expiry happens here and only here — before admission.
+        # An admitted round always completes, so batch composition never
+        # becomes a numerical decision.
+        now = asyncio.get_running_loop().time()
+        admitted: list[_PendingRound] = []
+        for item in batch:
+            if item.expires_at is not None and now >= item.expires_at:
+                self.stats.deadline_expired += 1
+                if not item.future.done():
+                    item.future.set_exception(
+                        DeadlineExceeded(
+                            "deadline expired before batch admission"
+                        )
+                    )
+            else:
+                admitted.append(item)
+        batch = admitted
+        if not batch:
+            return
         self.stats.record_batch(len(batch), waited_s)
         try:
-            results = await self._submit_batch(batch)
+            submitted = self._submit_batch(batch)
+            if self.dsp_timeout_s is not None:
+                results = await asyncio.wait_for(
+                    submitted, self.dsp_timeout_s
+                )
+            else:
+                results = await submitted
+        except asyncio.TimeoutError:
+            # The executor is now suspect: wait_for abandoned the pass,
+            # but the work may still be burning a worker underneath.
+            self.stats.dsp_timeouts += 1
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(
+                        DeadlineExceeded(
+                            f"DSP pass exceeded "
+                            f"dsp_timeout_s={self.dsp_timeout_s}"
+                        )
+                    )
+            return
         except asyncio.CancelledError:
             for item in batch:
                 if not item.future.done():

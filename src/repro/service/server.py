@@ -68,7 +68,12 @@ from repro.service.protocol import (
     request_spec,
     round_decision,
 )
-from repro.service.scheduler import BatchingScheduler, ServiceOverloaded
+from repro.service.faults import FaultInjector, FaultPlan
+from repro.service.scheduler import (
+    BatchingScheduler,
+    DeadlineExceeded,
+    ServiceOverloaded,
+)
 
 __all__ = ["AuthService", "MAX_ROUNDS_PER_REQUEST"]
 
@@ -93,10 +98,12 @@ def _validate(request: RangingRequest) -> str | None:
         value = getattr(request, name)
         if not isinstance(value, int) or isinstance(value, bool):
             return f"{name} must be an integer, got {value!r}"
-    for name in ("distance_m", "threshold_m"):
+    for name in ("distance_m", "threshold_m", "deadline_ms"):
         value = getattr(request, name)
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             return f"{name} must be a number, got {value!r}"
+    if request.deadline_ms < 0:
+        return f"deadline_ms must be >= 0, got {request.deadline_ms}"
     if request.rounds < 1:
         return f"rounds must be >= 1, got {request.rounds}"
     if request.rounds > MAX_ROUNDS_PER_REQUEST:
@@ -152,6 +159,17 @@ class AuthService:
         execution under high concurrency trades throughput for memory
         pressure; excess rounds simply wait their turn (they are not
         rejected — ``queue_limit`` is the rejecting limit).
+    dsp_timeout_s:
+        Upper bound on one stacked DSP pass (see
+        :class:`BatchingScheduler`); a pass over budget fails its rounds
+        closed with a ``timeout`` error and marks the executor suspect.
+        ``None`` (default) disables the timeout.
+    fault_plan:
+        Optional deterministic :class:`~repro.service.faults.FaultPlan`
+        for tests and the chaos smoke.  The service wraps it in its own
+        per-process :class:`~repro.service.faults.FaultInjector` and
+        consumes the batch-delay, frame, and busy-once fault kinds;
+        ``None`` (and an empty plan) injects nothing.
 
     Use as an async context manager (starts/stops the scheduler), or
     call :meth:`handle_request` directly — the scheduler lazily starts on
@@ -170,13 +188,20 @@ class AuthService:
         shard_index: int = 0,
         shard_count: int = 1,
         max_inflight_rounds: int = 32,
+        dsp_timeout_s: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
+        self.faults: FaultInjector | None = None
+        if fault_plan is not None and not fault_plan.empty:
+            self.faults = FaultInjector(fault_plan)
         self.scheduler = scheduler or BatchingScheduler(
             batch_size,
             linger_ms=linger_ms,
             max_pending=queue_limit,
             dsp_workers=dsp_workers,
             dsp_executor=dsp_executor,
+            dsp_timeout_s=dsp_timeout_s,
+            faults=self.faults,
         )
         if max_inflight_rounds < 1:
             raise ValueError(
@@ -251,6 +276,15 @@ class AuthService:
                 message="service is draining for shutdown; retry elsewhere",
             )
             return
+        if self.faults is not None and self.faults.take_busy():
+            # Injected backpressure bounce: indistinguishable from a
+            # real queue-full rejection — nothing was executed.
+            yield ErrorReply(
+                request_id=request.request_id,
+                code="busy",
+                message="injected busy (fault plan)",
+            )
+            return
         self._active_requests += 1
         self._idle.clear()
         try:
@@ -264,10 +298,17 @@ class AuthService:
             # in round order.
             spec = request_spec(request)
             loop = asyncio.get_running_loop()
+            expires_at = (
+                loop.time() + request.deadline_ms / 1000.0
+                if request.deadline_ms > 0
+                else None
+            )
             self.scheduler.announce(request.rounds)
             tasks = [
                 loop.create_task(
-                    self._run_round(spec, request.first_trial + index)
+                    self._run_round(
+                        spec, request.first_trial + index, expires_at
+                    )
                 )
                 for index in range(request.rounds)
             ]
@@ -281,6 +322,25 @@ class AuthService:
                             request_id=request.request_id,
                             code="busy",
                             message=str(error),
+                        )
+                        return
+                    except DeadlineExceeded as error:
+                        yield ErrorReply(
+                            request_id=request.request_id,
+                            code="timeout",
+                            message=str(error),
+                        )
+                        return
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as error:
+                        # Fail closed: an unexpected round failure is a
+                        # structured deny, never a grant — and never a
+                        # torn-down stream.
+                        yield ErrorReply(
+                            request_id=request.request_id,
+                            code="internal-error",
+                            message=f"round failed: {error!r}",
                         )
                         return
                     decisions.append(
@@ -318,6 +378,8 @@ class AuthService:
             queue_high_water=stats.queue_high_water,
             linger_wait_s=stats.linger_wait_s,
             batch_histogram=stats.histogram_text(),
+            deadline_expired=stats.deadline_expired,
+            dsp_timeouts=stats.dsp_timeouts,
         )
 
     def calibrate_reply(
@@ -362,15 +424,30 @@ class AuthService:
             source=summary.source,
         )
 
-    async def _run_round(self, spec: TrialSpec, trial: int) -> RangingOutcome:
+    async def _run_round(
+        self,
+        spec: TrialSpec,
+        trial: int,
+        expires_at: float | None = None,
+    ) -> RangingOutcome:
         """One ranging round: RNG stages inline, DSP via the scheduler.
 
         Consumes exactly one announced-round slot, whichever way it
-        exits (Bluetooth failure, queue overflow, cancellation).
+        exits (Bluetooth failure, queue overflow, deadline expiry,
+        cancellation).  ``expires_at`` is checked before the RNG stages
+        start and again at batch admission — never mid-computation.
         """
         submitted = False
         try:
             async with self._round_gate:
+                if (
+                    expires_at is not None
+                    and asyncio.get_running_loop().time() >= expires_at
+                ):
+                    self.scheduler.stats.deadline_expired += 1
+                    raise DeadlineExceeded(
+                        "deadline expired before round start"
+                    )
                 session = build_trial_session(spec, trial)
                 ctx, rng = session.context, session.rng
                 negotiation = negotiate(ctx, rng)
@@ -380,7 +457,8 @@ class AuthService:
                 planned = render_noise(ctx, plan, rng)
                 submitted = True
                 recordings, detections = await self.scheduler.run_round(
-                    ctx, negotiation, planned, announced=True
+                    ctx, negotiation, planned, announced=True,
+                    expires_at=expires_at,
                 )
                 session.artifacts.recording_auth = recordings.auth
                 session.artifacts.recording_vouch = recordings.vouch
@@ -431,7 +509,22 @@ class AuthService:
         tasks: set[asyncio.Task] = set()
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Frame longer than the stream limit: the buffer is
+                    # desynchronized, so answer once and hang up rather
+                    # than misparse the remainder as new frames.
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            "",
+                            "bad-request",
+                            "frame exceeds maximum line length",
+                        ),
+                    )
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -506,18 +599,26 @@ class AuthService:
                 await self._send(
                     writer,
                     write_lock,
-                    ErrorReply(request.request_id, "internal", repr(error)),
+                    ErrorReply(
+                        request.request_id, "internal-error", repr(error)
+                    ),
                 )
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    @staticmethod
     async def _send(
+        self,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         message: Message,
     ) -> None:
         data = (encode_message(message) + "\n").encode("utf-8")
+        if self.faults is not None:
+            mode = self.faults.take_frame_fault()
+            if mode == "drop":
+                return
+            if mode == "truncate":
+                data = data[: len(data) // 2] + b"\n"
         async with write_lock:
             writer.write(data)
             await writer.drain()

@@ -1,4 +1,4 @@
-"""Shard-by-session front tier: N worker processes, one TCP endpoint.
+"""Shard-by-session front tier: N supervised workers, one TCP endpoint.
 
 :class:`ShardedAuthServer` multiplies the streaming service across CPU
 cores the way a deployment would: it owns the public JSON-lines TCP
@@ -25,8 +25,31 @@ process topology.  Two consequences:
 The hash is :func:`hashlib.blake2b`, not the builtin ``hash`` (which is
 salted per process and would route differently on every restart).
 
+Supervision — the self-healing contract
+---------------------------------------
+
+Every shard slot has a supervisor task joined on its worker process.  A
+worker that exits outside a drain is a **crash**: the supervisor respawns
+it *on the same slot* after a bounded exponential backoff
+(``respawn_backoff_s`` doubling up to ``respawn_backoff_max_s``); a slot
+that keeps dying (more than ``max_respawns`` crashes inside a
+``crash_reset_s`` window) opens a **circuit breaker** and stays down —
+requests routed to it get a structured ``unavailable`` error instead of
+an infinite respawn loop.
+
+Nothing is replayed.  When a worker dies, every request in flight on it
+gets an **attributed, retriable** ``unavailable``
+:class:`~repro.service.protocol.ErrorReply` (the router tracks which
+request ids each shard owes replies to by peeking at forwarded reply
+lines — forwarding itself stays byte-verbatim).  Because routing is
+deployment-pinned and every round is deterministic in
+``(session, trial)``, a client retry of the same request id lands on the
+respawned worker and yields **byte-identical** decisions — retry-safety
+is a corollary of the determinism contract, not a journal.
+
 Shutdown is a coordinated drain: the router flips to answering new
-requests with ``busy``, SIGTERMs the workers (each
+requests with ``busy``, cancels the supervisors (no respawns during
+shutdown), SIGTERMs the workers (each
 :meth:`~repro.service.AuthService.drain`\\ s: in-flight streams finish,
 the DSP pool closes), and waits for them to exit.  A worker that
 receives SIGINT/SIGTERM directly (Ctrl-C hits the whole process group)
@@ -43,11 +66,14 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import multiprocessing
 import os
 import signal
 import tempfile
+from dataclasses import dataclass, field
 
+from repro.service.faults import FaultInjector, FaultPlan
 from repro.service.protocol import (
     CalibrateRequest,
     ErrorReply,
@@ -61,6 +87,12 @@ from repro.service.protocol import (
 from repro.service.server import AuthService
 
 __all__ = ["ShardedAuthServer", "session_key", "shard_for_session"]
+
+#: Reply ``type`` tags that end a request's reply stream — receiving one
+#: means the worker owes that request id nothing further.
+_TERMINAL_REPLY_TAGS = frozenset(
+    {"request_complete", "error", "stats_reply", "calibrate_reply"}
+)
 
 
 def session_key(request: RangingRequest) -> str:
@@ -136,8 +168,29 @@ async def _run_worker(
 # ----------------------------------------------------------------------
 
 
+class _ShardUnavailable(RuntimeError):
+    """A shard has no live worker right now; the caller should retry."""
+
+
+@dataclass
+class _WorkerSlot:
+    """One supervised shard slot: the pinned index outlives the process."""
+
+    shard: int
+    process: multiprocessing.Process | None = None
+    #: Set while a live worker is accepting on this slot's socket.
+    ready: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Crashes inside the current ``crash_reset_s`` window.
+    crashes: int = 0
+    last_crash_at: float = 0.0
+    #: Total successful respawns over the slot's lifetime.
+    respawns: int = 0
+    #: Circuit breaker: the slot crash-looped and stays down.
+    failed: bool = False
+
+
 class ShardedAuthServer:
-    """TCP front tier routing sessions to shard worker processes.
+    """TCP front tier routing sessions to supervised worker processes.
 
     Parameters
     ----------
@@ -150,11 +203,33 @@ class ShardedAuthServer:
     service_options:
         Keyword arguments forwarded to every worker's ``AuthService``
         (``batch_size``, ``linger_ms``, ``queue_limit``, ``dsp_workers``,
-        ``dsp_executor``, ``max_inflight_rounds``).  Must be picklable —
-        they cross the spawn boundary.
+        ``dsp_executor``, ``max_inflight_rounds``, ``dsp_timeout_s``).
+        Must be picklable — they cross the spawn boundary.
     ready_timeout:
         Seconds to wait for each worker's socket to accept connections
-        at :meth:`start` (spawned workers pay the package import once).
+        at :meth:`start` and after each respawn (spawned workers pay the
+        package import once).
+    max_respawns:
+        Crash-loop circuit breaker: after this many crashes of one slot
+        inside a ``crash_reset_s`` window, the slot stays down and its
+        requests answer ``unavailable``.
+    respawn_backoff_s / respawn_backoff_max_s:
+        Bounded exponential backoff before each respawn: the Nth
+        consecutive crash waits ``respawn_backoff_s * 2**(N-1)`` seconds,
+        capped at ``respawn_backoff_max_s``.
+    crash_reset_s:
+        A slot that stays up this long after a crash gets its crash
+        count forgiven (the backoff and breaker reset).
+    respawn_wait_s:
+        How long a request routed to a currently-dead shard waits for
+        the respawn before answering ``unavailable`` (retriable) — this
+        bounds added latency during recovery instead of queueing
+        unboundedly behind a dead worker.
+    fault_plan:
+        Optional deterministic :class:`~repro.service.faults.FaultPlan`.
+        The router consumes the ``kill_workers`` kind (SIGKILL after the
+        Kth forwarded request); worker-side kinds travel to every worker
+        via ``service_options``.
 
     Use as an async context manager, or ``start()`` … ``stop()``.
     """
@@ -166,15 +241,38 @@ class ShardedAuthServer:
         socket_dir: str | None = None,
         service_options: dict | None = None,
         ready_timeout: float = 60.0,
+        max_respawns: int = 5,
+        respawn_backoff_s: float = 0.25,
+        respawn_backoff_max_s: float = 10.0,
+        crash_reset_s: float = 60.0,
+        respawn_wait_s: float = 30.0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {max_respawns!r}"
+            )
+        if respawn_backoff_s < 0 or respawn_backoff_max_s < 0:
+            raise ValueError("respawn backoff values must be >= 0")
         self.workers = workers
         self.service_options = dict(service_options or {})
         self.ready_timeout = ready_timeout
+        self.max_respawns = max_respawns
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_backoff_max_s = respawn_backoff_max_s
+        self.crash_reset_s = crash_reset_s
+        self.respawn_wait_s = respawn_wait_s
+        self._faults: FaultInjector | None = None
+        if fault_plan is not None and not fault_plan.empty:
+            self._faults = FaultInjector(fault_plan)
+            if fault_plan.has_worker_faults:
+                self.service_options.setdefault("fault_plan", fault_plan)
         self._socket_dir = socket_dir
         self._owns_socket_dir = socket_dir is None
-        self._processes: list[multiprocessing.Process] = []
+        self._slots: list[_WorkerSlot] = []
+        self._supervisors: list[asyncio.Task] = []
         self._draining = False
         self._stopped = False
 
@@ -184,51 +282,69 @@ class ShardedAuthServer:
         assert self._socket_dir is not None, "start() first"
         return os.path.join(self._socket_dir, f"shard-{shard}.sock")
 
+    @property
+    def total_respawns(self) -> int:
+        """Successful worker respawns across all slots (telemetry)."""
+        return sum(slot.respawns for slot in self._slots)
+
+    def _spawn(self, shard: int) -> multiprocessing.Process:
+        # A stale socket from the previous incarnation must go before
+        # the replacement binds the same path.
+        try:
+            os.unlink(self.socket_path(shard))
+        except OSError:
+            pass
+        context = multiprocessing.get_context("spawn")
+        process = context.Process(
+            target=_shard_worker_main,
+            args=(
+                self.socket_path(shard),
+                shard,
+                self.workers,
+                self.service_options,
+            ),
+            name=f"repro-shard-{shard}",
+            daemon=False,
+        )
+        process.start()
+        return process
+
     async def start(self) -> None:
-        """Spawn the worker processes and wait until all accept."""
-        if self._processes:
+        """Spawn the workers, wait until all accept, start supervision."""
+        if self._slots:
             return
         if self._socket_dir is None:
             self._socket_dir = tempfile.mkdtemp(prefix="repro-shards-")
-        context = multiprocessing.get_context("spawn")
-        for shard in range(self.workers):
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(
-                    self.socket_path(shard),
-                    shard,
-                    self.workers,
-                    self.service_options,
-                ),
-                name=f"repro-shard-{shard}",
-                daemon=False,
-            )
-            process.start()
-            self._processes.append(process)
+        self._slots = [_WorkerSlot(shard) for shard in range(self.workers)]
+        for slot in self._slots:
+            slot.process = self._spawn(slot.shard)
         await asyncio.gather(
-            *(
-                self._wait_ready(shard)
-                for shard in range(self.workers)
-            )
+            *(self._wait_ready(slot) for slot in self._slots)
         )
+        loop = asyncio.get_running_loop()
+        self._supervisors = [
+            loop.create_task(self._supervise(slot)) for slot in self._slots
+        ]
 
-    async def _wait_ready(self, shard: int) -> None:
+    async def _wait_ready(self, slot: _WorkerSlot) -> None:
+        """Poll until ``slot``'s socket accepts; sets ``slot.ready``."""
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.ready_timeout
-        path = self.socket_path(shard)
+        path = self.socket_path(slot.shard)
         while True:
-            process = self._processes[shard]
-            if not process.is_alive():
+            process = slot.process
+            if process is None or not process.is_alive():
                 raise RuntimeError(
-                    f"shard worker {shard} exited during startup "
-                    f"(exitcode {process.exitcode})"
+                    f"shard worker {slot.shard} exited during startup "
+                    f"(exitcode "
+                    f"{process.exitcode if process else 'unknown'})"
                 )
             try:
                 reader, writer = await asyncio.open_unix_connection(path)
             except (FileNotFoundError, ConnectionRefusedError, OSError):
                 if loop.time() >= deadline:
                     raise RuntimeError(
-                        f"shard worker {shard} did not become ready "
+                        f"shard worker {slot.shard} did not become ready "
                         f"within {self.ready_timeout:.0f}s"
                     ) from None
                 await asyncio.sleep(0.05)
@@ -238,7 +354,58 @@ class ShardedAuthServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            slot.ready.set()
             return
+
+    async def _supervise(self, slot: _WorkerSlot) -> None:
+        """Respawn ``slot``'s worker on crash, with backoff and a breaker.
+
+        Joins the current process off-loop; a worker exit during a drain
+        is the expected shutdown.  Anything else is a crash: the slot's
+        ready gate closes (requests wait, bounded by ``respawn_wait_s``),
+        a bounded-exponential backoff elapses, and a fresh worker is
+        spawned on the same pinned slot.  More than ``max_respawns``
+        crashes inside a ``crash_reset_s`` window opens the circuit
+        breaker: the slot stays down, its requests answer
+        ``unavailable``, and the rest of the tier keeps serving.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            process = slot.process
+            if process is not None:
+                await loop.run_in_executor(None, process.join)
+            if self._draining or self._stopped:
+                return
+            slot.ready.clear()
+            now = loop.time()
+            if (
+                slot.last_crash_at
+                and now - slot.last_crash_at > self.crash_reset_s
+            ):
+                slot.crashes = 0
+            slot.crashes += 1
+            slot.last_crash_at = now
+            if slot.crashes > self.max_respawns:
+                slot.failed = True
+                return
+            backoff = min(
+                self.respawn_backoff_s * 2 ** (slot.crashes - 1),
+                self.respawn_backoff_max_s,
+            )
+            if backoff > 0:
+                await asyncio.sleep(backoff)
+            if self._draining or self._stopped:
+                return
+            slot.process = self._spawn(slot.shard)
+            try:
+                await self._wait_ready(slot)
+            except RuntimeError:
+                # Died (or hung) while starting: make sure it is gone,
+                # then account it as another crash on the next join.
+                if slot.process is not None and slot.process.is_alive():
+                    slot.process.kill()
+                continue
+            slot.respawns += 1
 
     async def serve(
         self, host: str = "127.0.0.1", port: int = 8765
@@ -254,18 +421,28 @@ class ShardedAuthServer:
     async def drain(self) -> None:
         """Drain and stop every worker; returns when all have exited.
 
-        Sends SIGTERM (each worker finishes its in-flight streams and
-        shuts its DSP pool down), waits, and escalates to SIGKILL only
-        if a worker ignores the drain for 30 seconds.
+        Cancels the supervisors first (a worker exiting from here on is
+        shutdown, not a crash — nothing may respawn), sends SIGTERM
+        (each worker finishes its in-flight streams and shuts its DSP
+        pool down), waits, and escalates to SIGKILL only if a worker
+        ignores the drain for 30 seconds.
         """
         self.begin_draining()
+        for task in self._supervisors:
+            task.cancel()
+        if self._supervisors:
+            await asyncio.gather(*self._supervisors, return_exceptions=True)
+        self._supervisors = []
         loop = asyncio.get_running_loop()
-        for process in self._processes:
+        processes = [
+            slot.process for slot in self._slots if slot.process is not None
+        ]
+        for process in processes:
             if process.is_alive():
                 process.terminate()
-        for process in self._processes:
+        for process in processes:
             await loop.run_in_executor(None, process.join, 30.0)
-        for process in self._processes:
+        for process in processes:
             if process.is_alive():  # pragma: no cover - defensive
                 process.kill()
                 await loop.run_in_executor(None, process.join)
@@ -305,15 +482,32 @@ class ShardedAuthServer:
         Lazily opens one upstream connection per shard actually used by
         this client; a pump task per upstream forwards the worker's
         reply lines to the client **verbatim** (no decode/re-encode on
-        the reply path — the workers' bytes are the contract).
+        the reply path — the workers' bytes are the contract).  The
+        router remembers which request ids each shard still owes replies
+        to (``outstanding``), so a worker crash turns into attributed,
+        retriable ``unavailable`` errors instead of silence.
         """
         write_lock = asyncio.Lock()
         upstreams: dict[int, tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
         pumps: list[asyncio.Task] = []
+        #: Per shard, the request ids awaiting a terminal reply.
+        outstanding: dict[int, dict[str, None]] = {}
         closing = [False]
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            "",
+                            "bad-request",
+                            "frame exceeds maximum line length",
+                        ),
+                    )
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -332,11 +526,17 @@ class ShardedAuthServer:
                     # (stats counters / calibration evidence), tagged
                     # (shard, shards) so the client can collect the set.
                     for shard in range(self.workers):
-                        upstream = await self._upstream(
-                            shard, upstreams, pumps, writer, write_lock, closing
+                        await self._forward(
+                            shard,
+                            line,
+                            message.request_id,
+                            upstreams,
+                            pumps,
+                            outstanding,
+                            writer,
+                            write_lock,
+                            closing,
                         )
-                        upstream.write(line)
-                        await upstream.drain()
                     continue
                 if not isinstance(message, RangingRequest):
                     await self._send(
@@ -361,11 +561,25 @@ class ShardedAuthServer:
                     )
                     continue
                 shard = shard_for_session(session_key(message), self.workers)
-                upstream = await self._upstream(
-                    shard, upstreams, pumps, writer, write_lock, closing
+                forwarded = await self._forward(
+                    shard,
+                    line,
+                    message.request_id,
+                    upstreams,
+                    pumps,
+                    outstanding,
+                    writer,
+                    write_lock,
+                    closing,
                 )
-                upstream.write(line)
-                await upstream.drain()
+                if (
+                    forwarded
+                    and self._faults is not None
+                    and self._faults.take_kill_worker(shard)
+                ):
+                    process = self._slots[shard].process
+                    if process is not None and process.is_alive():
+                        process.kill()
         except (ConnectionResetError, BrokenPipeError):
             pass
         except asyncio.CancelledError:
@@ -396,66 +610,194 @@ class ShardedAuthServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _forward(
+        self,
+        shard: int,
+        line: bytes,
+        request_id: str,
+        upstreams: dict,
+        pumps: list,
+        outstanding: dict,
+        client_writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        closing: list,
+    ) -> bool:
+        """Forward one request line to ``shard``; False = answered with
+        a structured ``unavailable`` error instead (shard down)."""
+        try:
+            upstream = await self._upstream(
+                shard,
+                upstreams,
+                pumps,
+                outstanding,
+                client_writer,
+                write_lock,
+                closing,
+            )
+        except _ShardUnavailable as error:
+            await self._send(
+                client_writer,
+                write_lock,
+                ErrorReply(request_id, "unavailable", str(error)),
+            )
+            return False
+        outstanding.setdefault(shard, {})[request_id] = None
+        try:
+            upstream.write(line)
+            await upstream.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            # Worker died between open and write; the pump's EOF path
+            # answers this (and any other) outstanding id.
+            pass
+        return True
+
     async def _upstream(
         self,
         shard: int,
         upstreams: dict,
         pumps: list,
+        outstanding: dict,
         client_writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         closing: list,
     ) -> asyncio.StreamWriter:
-        """This connection's upstream to ``shard``, opened on first use."""
+        """This connection's upstream to ``shard``, opened on first use.
+
+        If the slot's worker is dead, waits (bounded by
+        ``respawn_wait_s``) for the supervisor to bring the replacement
+        up; a slot whose circuit breaker is open, or that stays down past
+        the wait budget, raises :class:`_ShardUnavailable` — the caller
+        answers with a structured, retriable error.
+        """
         entry = upstreams.get(shard)
         if entry is not None:
             return entry[1]
-        upstream_reader, upstream_writer = await asyncio.open_unix_connection(
-            self.socket_path(shard)
-        )
+        slot = self._slots[shard]
+        if slot.failed:
+            raise _ShardUnavailable(
+                f"shard {shard} is down "
+                f"(crash-loop circuit breaker open after {slot.crashes} "
+                f"crashes)"
+            )
+        if not slot.ready.is_set():
+            try:
+                await asyncio.wait_for(
+                    slot.ready.wait(), self.respawn_wait_s
+                )
+            except asyncio.TimeoutError:
+                raise _ShardUnavailable(
+                    f"shard {shard} worker is down (respawn pending); "
+                    f"retry"
+                ) from None
+            if slot.failed:  # breaker opened while we waited
+                raise _ShardUnavailable(
+                    f"shard {shard} is down (crash-loop circuit breaker "
+                    f"open)"
+                )
+        try:
+            upstream_reader, upstream_writer = (
+                await asyncio.open_unix_connection(self.socket_path(shard))
+            )
+        except (FileNotFoundError, ConnectionRefusedError, OSError):
+            raise _ShardUnavailable(
+                f"shard {shard} worker is not accepting connections; retry"
+            ) from None
         upstreams[shard] = (upstream_reader, upstream_writer)
         pumps.append(
             asyncio.get_running_loop().create_task(
                 self._pump(
-                    shard, upstream_reader, client_writer, write_lock, closing
+                    shard,
+                    upstream_reader,
+                    upstreams,
+                    outstanding,
+                    client_writer,
+                    write_lock,
+                    closing,
                 )
             )
         )
         return upstream_writer
 
+    @staticmethod
+    def _note_reply(shard: int, line: bytes, outstanding: dict) -> None:
+        """Retire the request id a terminal reply line settles.
+
+        This peek is the only reply-path JSON parse, and it never feeds
+        what gets forwarded — the client receives the worker's original
+        bytes regardless.
+        """
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("type") not in _TERMINAL_REPLY_TAGS:
+            return
+        request_id = payload.get("request_id")
+        pending = outstanding.get(shard)
+        if pending is not None and request_id in pending:
+            del pending[request_id]
+
     async def _pump(
         self,
         shard: int,
         upstream_reader: asyncio.StreamReader,
+        upstreams: dict,
+        outstanding: dict,
         client_writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         closing: list,
     ) -> None:
         """Forward one worker's reply lines to the client, byte-for-byte."""
-        try:
-            while True:
+        while True:
+            try:
                 line = await upstream_reader.readline()
-                if not line:
-                    break
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                # A SIGKILLed worker surfaces as ECONNRESET at least as
+                # often as a clean EOF — both mean the same thing here:
+                # the worker is gone.  Fall through to the crash path so
+                # the dead upstream is evicted and outstanding ids are
+                # answered, not silently orphaned.
+                line = b""
+            if not line:
+                break
+            self._note_reply(shard, line, outstanding)
+            try:
                 async with write_lock:
                     client_writer.write(line)
                     await client_writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            return
+            except (ConnectionResetError, BrokenPipeError):
+                # The *client* went away; _handle_client's cleanup owns
+                # the teardown, nothing left to attribute.
+                return
         if closing[0] or self._draining:
             return
         # The worker hung up while the client is still talking — a
-        # crash, not a drain.  An unattributed error fails every pending
-        # request on the client (it cannot know which were lost).
-        try:
-            await self._send(
-                client_writer,
-                write_lock,
-                ErrorReply(
-                    "", "internal", f"shard {shard} connection lost"
-                ),
-            )
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        # crash, not a drain.  Evict the dead upstream (the next request
+        # for this shard reconnects to the respawned worker) and fail
+        # every request this shard still owed a terminal reply with an
+        # attributed, retriable error: deployment-pinned routing plus
+        # per-(session, trial) determinism make the retry land on the
+        # replacement worker with byte-identical decisions.
+        entry = upstreams.pop(shard, None)
+        if entry is not None:
+            entry[1].close()
+        lost = outstanding.pop(shard, {})
+        for request_id in lost:
+            try:
+                await self._send(
+                    client_writer,
+                    write_lock,
+                    ErrorReply(
+                        request_id,
+                        "unavailable",
+                        f"shard {shard} worker exited mid-request; "
+                        f"retry (no partial state survives)",
+                    ),
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                return
 
     @staticmethod
     async def _send(

@@ -196,6 +196,7 @@ def test_codec_rejects_mistyped_scalars(field, value):
         "rounds": 2,
         "first_trial": 0,
         "threshold_m": 1.0,
+        "deadline_ms": 0.0,
         field: value,
     }
     with pytest.raises(ProtocolError, match=field):
@@ -214,11 +215,15 @@ def test_codec_accepts_int_for_float_fields():
         "rounds": 1,
         "first_trial": 0,
         "threshold_m": 2,
+        "deadline_ms": 0,  # ints accepted (and upcast) here too
     }
     message = decode_message(json.dumps(payload))
     assert message.distance_m == 1.0 and isinstance(message.distance_m, float)
     assert message.threshold_m == 2.0 and isinstance(
         message.threshold_m, float
+    )
+    assert message.deadline_ms == 0.0 and isinstance(
+        message.deadline_ms, float
     )
 
 
@@ -425,6 +430,8 @@ def test_tcp_round_trip_matches_engine_and_streams_in_order():
         {"distance_m": -1.0},
         {"distance_m": "close"},
         {"threshold_m": 0.0},
+        {"deadline_ms": -5.0},
+        {"deadline_ms": "soon"},
         {"first_trial": -1},
         {"request_id": ""},
     ],

@@ -1,0 +1,583 @@
+"""Fault tolerance of the serving tier (`repro.service.faults` et al.).
+
+Every failure mode the self-healing layer handles is injected
+*deterministically* through a :class:`FaultPlan` (or a monkeypatch where
+a plan cannot reach, e.g. a wedged DSP executor) and asserted against
+the two safety contracts:
+
+* **fail closed** — every failure path ends in a structured
+  :class:`ErrorReply` (deny), never a grant, and never a torn-down
+  stream;
+* **retry idempotency** — a retry of the same request id yields
+  decisions *byte-identical* to the unfaulted run (determinism in
+  ``(session, trial)`` plus pinned routing), so the granted set under
+  any fault schedule is a subset of the unfaulted run's.
+
+The one spawned-process test (worker SIGKILL → supervised respawn) also
+exercises the router's frame handling — malformed JSON, oversized
+lines — so the expensive worker startup is paid once.
+`tools/chaos_smoke.py` covers the same kill path under sustained load in
+CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.ranging import RangingOutcome
+from repro.eval.engine import TrialSpec, run_cell_spec
+from repro.service import (
+    AuthClient,
+    AuthService,
+    BusyOnce,
+    DelayBatch,
+    ErrorReply,
+    FaultInjector,
+    FaultPlan,
+    FrameFault,
+    KillWorker,
+    RangingRequest,
+    RequestComplete,
+    RetryPolicy,
+    RoundDecision,
+    ServiceError,
+    ShardedAuthServer,
+    session_key,
+    shard_for_session,
+)
+
+ENV = "quiet_lab"
+SEED = 3
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def collect(service: AuthService, request: RangingRequest):
+    return [message async for message in service.handle_request(request)]
+
+
+def engine_outcomes(
+    distance_m: float, n_trials: int, seed: int = SEED
+) -> list[RangingOutcome]:
+    spec = TrialSpec(
+        environment=ENV, distance_m=distance_m, n_trials=n_trials, seed=seed
+    )
+    return run_cell_spec(spec, batch_size=1).outcomes
+
+
+def assert_matches_outcome(decision: RoundDecision, outcome: RangingOutcome):
+    """The wire decision must carry the outcome's exact bits."""
+    assert decision.status == outcome.status.value
+    assert decision.distance_m == outcome.distance_m
+    assert decision.elapsed_s == outcome.elapsed_s
+    assert decision.energy_j == outcome.energy_j
+
+
+def ranging_request(request_id="r-1", rounds=2, **overrides) -> RangingRequest:
+    fields = dict(
+        request_id=request_id,
+        environment=ENV,
+        distance_m=0.8,
+        seed=SEED,
+        rounds=rounds,
+        threshold_m=2.0,
+    )
+    fields.update(overrides)
+    return RangingRequest(**fields)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan / FaultInjector units
+# ----------------------------------------------------------------------
+
+
+def test_fault_plan_empty_and_worker_fault_views():
+    assert FaultPlan().empty
+    assert not FaultPlan(kill_workers=(KillWorker(0),)).empty
+    assert not FaultPlan(kill_workers=(KillWorker(0),)).has_worker_faults
+    assert FaultPlan(busy_once=(BusyOnce(),)).has_worker_faults
+    assert FaultPlan(delay_batches=(DelayBatch(0, 5.0),)).has_worker_faults
+    assert FaultPlan(frame_faults=(FrameFault(0),)).has_worker_faults
+
+
+def test_frame_fault_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="drop"):
+        FrameFault(0, mode="garble")
+
+
+def test_injector_kill_worker_counts_per_shard_and_fires_once():
+    plan = FaultPlan(kill_workers=(KillWorker(shard=1, after_requests=2),))
+    injector = FaultInjector(plan)
+    assert not injector.take_kill_worker(1)  # 1st request to shard 1
+    assert not injector.take_kill_worker(0)  # other shard does not count
+    assert injector.take_kill_worker(1)  # 2nd request: fire
+    assert not injector.take_kill_worker(1)  # at most once
+
+
+def test_injector_batch_delay_indexes_batches():
+    plan = FaultPlan(delay_batches=(DelayBatch(batch_index=1, delay_ms=250),))
+    injector = FaultInjector(plan)
+    assert injector.take_batch_delay_s() == 0.0  # batch 0
+    assert injector.take_batch_delay_s() == pytest.approx(0.25)  # batch 1
+    assert injector.take_batch_delay_s() == 0.0  # batch 2
+
+
+def test_injector_frame_and_busy_fire_once():
+    plan = FaultPlan(
+        frame_faults=(FrameFault(frame_index=1, mode="truncate"),),
+        busy_once=(BusyOnce(request_index=0),),
+    )
+    injector = FaultInjector(plan)
+    assert injector.take_frame_fault() is None
+    assert injector.take_frame_fault() == "truncate"
+    assert injector.take_frame_fault() is None
+    assert injector.take_busy()
+    assert not injector.take_busy()
+
+
+def test_fault_plan_pickles():
+    import pickle
+
+    plan = FaultPlan(
+        kill_workers=(KillWorker(0, 3),),
+        delay_batches=(DelayBatch(2, 10.0),),
+        frame_faults=(FrameFault(1, "drop"),),
+        busy_once=(BusyOnce(4),),
+    )
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(attempt_timeout_s=0.0)
+
+
+def test_retry_backoff_is_deterministic_capped_exponential():
+    policy = RetryPolicy(base_backoff_s=0.1, max_backoff_s=0.4, jitter=0.5)
+    first = policy.backoff_s("req", 1)
+    assert first == policy.backoff_s("req", 1)  # hashed, not drawn
+    assert policy.backoff_s("other", 1) != first  # per-request jitter
+    assert 0.1 <= first <= 0.15
+    # Attempt 4 would be 0.8 uncapped; the cap bounds it (plus jitter).
+    assert policy.backoff_s("req", 4) <= 0.4 * 1.5
+    assert RetryPolicy(jitter=0.0, base_backoff_s=0.1).backoff_s(
+        "req", 2
+    ) == pytest.approx(0.2)
+
+
+# ----------------------------------------------------------------------
+# Deadlines (scheduler admission + DSP timeout) — all in-process
+# ----------------------------------------------------------------------
+
+
+def test_deadline_expires_before_admission_fails_closed():
+    plan = FaultPlan(delay_batches=(DelayBatch(batch_index=0, delay_ms=150),))
+
+    async def go():
+        async with AuthService(batch_size=4, fault_plan=plan) as service:
+            messages = await collect(
+                service, ranging_request(rounds=1, deadline_ms=20.0)
+            )
+            stats = service.stats_reply("s")
+        return messages, stats
+
+    messages, stats = run_async(go())
+    assert len(messages) == 1
+    (reply,) = messages
+    assert isinstance(reply, ErrorReply)
+    assert reply.code == "timeout" and reply.retriable
+    assert stats.deadline_expired >= 1
+
+
+def test_no_deadline_is_unaffected_by_batch_delay():
+    plan = FaultPlan(delay_batches=(DelayBatch(batch_index=0, delay_ms=50),))
+    expected = engine_outcomes(0.8, 2)
+
+    async def go():
+        async with AuthService(batch_size=4, fault_plan=plan) as service:
+            return await collect(service, ranging_request(rounds=2))
+
+    messages = run_async(go())
+    assert isinstance(messages[-1], RequestComplete)
+    for decision, outcome in zip(messages[:-1], expected):
+        assert_matches_outcome(decision, outcome)
+
+
+def test_generous_deadline_decisions_match_unfaulted_run():
+    expected = engine_outcomes(0.8, 2)
+
+    async def go():
+        async with AuthService(batch_size=4) as service:
+            return await collect(
+                service, ranging_request(rounds=2, deadline_ms=60_000.0)
+            )
+
+    messages = run_async(go())
+    assert isinstance(messages[-1], RequestComplete)
+    for decision, outcome in zip(messages[:-1], expected):
+        assert_matches_outcome(decision, outcome)
+
+
+def test_wedged_dsp_pass_times_out_closed_and_marks_suspect():
+    async def go():
+        async with AuthService(batch_size=2, dsp_timeout_s=0.05) as service:
+            never = asyncio.get_running_loop().create_future()
+            service.scheduler._submit_batch = lambda batch: never
+            messages = await collect(service, ranging_request(rounds=1))
+            stats = service.stats_reply("s")
+        return messages, stats
+
+    messages, stats = run_async(go())
+    (reply,) = messages
+    assert isinstance(reply, ErrorReply)
+    assert reply.code == "timeout" and reply.retriable
+    assert stats.dsp_timeouts == 1
+
+
+# ----------------------------------------------------------------------
+# Busy-once + retry: idempotent by request id, byte-identical decisions
+# ----------------------------------------------------------------------
+
+
+def test_busy_once_then_retry_returns_identical_decisions():
+    plan = FaultPlan(busy_once=(BusyOnce(request_index=0),))
+    expected = engine_outcomes(0.8, 2)
+
+    async def go():
+        async with AuthService(batch_size=4, fault_plan=plan) as service:
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with await AuthClient.connect("127.0.0.1", port) as client:
+                served = await client.authenticate(
+                    retry=RetryPolicy(attempts=3, base_backoff_s=0.01),
+                    environment=ENV,
+                    distance_m=0.8,
+                    seed=SEED,
+                    rounds=2,
+                    threshold_m=2.0,
+                )
+            server.close()
+            await server.wait_closed()
+            return served
+
+    served = run_async(go())
+    assert served.attempts == 2
+    assert served.complete is not None
+    for decision, outcome in zip(served.rounds, expected):
+        assert_matches_outcome(decision, outcome)
+
+
+def test_busy_without_retry_budget_surfaces_with_attempts():
+    plan = FaultPlan(busy_once=(BusyOnce(request_index=0),))
+
+    async def go():
+        async with AuthService(batch_size=4, fault_plan=plan) as service:
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with await AuthClient.connect("127.0.0.1", port) as client:
+                with pytest.raises(ServiceError) as info:
+                    await client.authenticate(
+                        environment=ENV,
+                        distance_m=0.8,
+                        seed=SEED,
+                        rounds=1,
+                        threshold_m=2.0,
+                    )
+            server.close()
+            await server.wait_closed()
+            return info.value
+
+    error = run_async(go())
+    assert error.code == "busy" and error.retriable
+    assert error.attempts == 1
+
+
+# ----------------------------------------------------------------------
+# Lost / corrupted reply frames: attempt timeout + reconnect + retry
+# ----------------------------------------------------------------------
+
+
+def _frame_fault_recovery(mode: str, frame_index: int):
+    plan = FaultPlan(frame_faults=(FrameFault(frame_index, mode=mode),))
+    expected = engine_outcomes(0.8, 2)
+
+    async def go():
+        async with AuthService(batch_size=4, fault_plan=plan) as service:
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with await AuthClient.connect("127.0.0.1", port) as client:
+                served = await client.authenticate(
+                    retry=RetryPolicy(
+                        attempts=4,
+                        base_backoff_s=0.01,
+                        attempt_timeout_s=2.0,
+                    ),
+                    environment=ENV,
+                    distance_m=0.8,
+                    seed=SEED,
+                    rounds=2,
+                    threshold_m=2.0,
+                )
+            server.close()
+            await server.wait_closed()
+            return served
+
+    served = run_async(go())
+    assert served.attempts >= 2
+    assert served.complete is not None and len(served.rounds) == 2
+    for decision, outcome in zip(served.rounds, expected):
+        assert_matches_outcome(decision, outcome)
+
+
+def test_dropped_terminal_frame_recovers_via_attempt_timeout():
+    # Frame 2 is the request_complete of a 2-round request.  Dropping a
+    # *non-terminal* frame would not stall the stream; dropping the
+    # terminal one silently hangs the attempt, which only the
+    # attempt_timeout_s backstop can catch.
+    _frame_fault_recovery("drop", frame_index=2)
+
+
+def test_truncated_reply_frame_recovers_via_reconnect():
+    # Truncating the very first frame desynchronizes the client's read
+    # loop (undecodable JSON), which must fail the attempt and redial.
+    _frame_fault_recovery("truncate", frame_index=0)
+
+
+# ----------------------------------------------------------------------
+# Unexpected round exceptions: structured internal-error, stream alive
+# ----------------------------------------------------------------------
+
+
+def test_unexpected_round_exception_maps_to_internal_error(monkeypatch):
+    import repro.service.server as server_module
+
+    real_build = server_module.build_trial_session
+    calls = {"n": 0}
+
+    def flaky_build(spec, trial):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("injected stage failure")
+        return real_build(spec, trial)
+
+    monkeypatch.setattr(server_module, "build_trial_session", flaky_build)
+    expected = engine_outcomes(0.8, 1)
+
+    async def go():
+        async with AuthService(batch_size=1) as service:
+            first = await collect(service, ranging_request(rounds=1))
+            # The failure is per-request: the service (and any shared
+            # connection) keeps serving, and the retry is unpoisoned.
+            second = await collect(service, ranging_request(rounds=1))
+        return first, second
+
+    first, second = run_async(go())
+    (reply,) = first
+    assert isinstance(reply, ErrorReply)
+    assert reply.code == "internal-error"
+    assert not reply.retriable  # fail closed, no blind retry invitation
+    assert isinstance(second[-1], RequestComplete)
+    assert_matches_outcome(second[0], expected[0])
+
+
+# ----------------------------------------------------------------------
+# Single-process frame handling: malformed, oversized, partial frames
+# ----------------------------------------------------------------------
+
+
+async def _raw_exchange(port: int, payload: bytes) -> list[dict]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    replies = []
+    while True:
+        try:
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+        except asyncio.TimeoutError:
+            break
+        if not line:
+            break
+        replies.append(json.loads(line))
+        break  # one reply is all these exchanges expect
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    return replies
+
+
+def test_malformed_json_line_gets_bad_request():
+    async def go():
+        async with AuthService(batch_size=1) as service:
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            replies = await _raw_exchange(port, b"this is not json\n")
+            server.close()
+            await server.wait_closed()
+            return replies
+
+    (reply,) = run_async(go())
+    assert reply["type"] == "error" and reply["code"] == "bad-request"
+
+
+def test_oversized_line_gets_bad_request_then_close():
+    async def go():
+        async with AuthService(batch_size=1) as service:
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            # Default StreamReader limit is 64 KiB; blow well past it
+            # without ever sending a newline.
+            replies = await _raw_exchange(port, b"x" * (1 << 20))
+            server.close()
+            await server.wait_closed()
+            return replies
+
+    (reply,) = run_async(go())
+    assert reply["type"] == "error" and reply["code"] == "bad-request"
+    assert "line length" in reply["message"]
+
+
+def test_partial_frame_then_disconnect_leaves_service_alive():
+    expected = engine_outcomes(0.8, 1)
+
+    async def go():
+        async with AuthService(batch_size=1) as service:
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            # Half a frame, no newline, hang up.
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"type": "ranging_req')
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            # The service must still answer a well-formed client.
+            async with await AuthClient.connect("127.0.0.1", port) as client:
+                served = await client.authenticate(
+                    environment=ENV,
+                    distance_m=0.8,
+                    seed=SEED,
+                    rounds=1,
+                    threshold_m=2.0,
+                )
+            server.close()
+            await server.wait_closed()
+            return served
+
+    served = run_async(go())
+    assert served.complete is not None
+    assert_matches_outcome(served.rounds[0], expected[0])
+
+
+def test_interleaved_replies_on_one_multiplexed_connection():
+    cells = [(0.8, SEED), (1.2, SEED + 1)]
+    expected = {
+        (distance, seed): engine_outcomes(distance, 2, seed=seed)
+        for distance, seed in cells
+    }
+
+    async def go():
+        async with AuthService(batch_size=4) as service:
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with await AuthClient.connect("127.0.0.1", port) as client:
+                served = await asyncio.gather(
+                    *(
+                        client.authenticate(
+                            environment=ENV,
+                            distance_m=distance,
+                            seed=seed,
+                            rounds=2,
+                            threshold_m=2.0,
+                        )
+                        for distance, seed in cells
+                    )
+                )
+            server.close()
+            await server.wait_closed()
+            return served
+
+    served = run_async(go())
+    for result, (distance, seed) in zip(served, cells):
+        assert result.complete is not None and len(result.rounds) == 2
+        for decision, outcome in zip(result.rounds, expected[(distance, seed)]):
+            assert_matches_outcome(decision, outcome)
+
+
+# ----------------------------------------------------------------------
+# Sharded tier: SIGKILL → attributed errors → respawn → identical retry
+# ----------------------------------------------------------------------
+
+
+def test_worker_kill_respawn_and_retry_byte_identical():
+    """The full self-healing loop, plus router frame handling, in one
+    worker-spawning test (spawns are expensive on this substrate)."""
+    distance, seed = 0.8, SEED
+    request = ranging_request(distance_m=distance, seed=seed, rounds=2)
+    target = shard_for_session(session_key(request), 2)
+    plan = FaultPlan(
+        kill_workers=(KillWorker(shard=target, after_requests=1),)
+    )
+    expected = engine_outcomes(distance, 2, seed=seed)
+
+    async def go():
+        front = ShardedAuthServer(
+            2,
+            fault_plan=plan,
+            respawn_backoff_s=0.05,
+            service_options=dict(batch_size=4),
+        )
+        async with front:
+            server = await front.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+
+            # Router frame handling first (no worker involved).
+            (reply,) = await _raw_exchange(port, b"not json either\n")
+            assert reply["type"] == "error"
+            assert reply["code"] == "bad-request"
+            (reply,) = await _raw_exchange(port, b"y" * (1 << 20))
+            assert reply["code"] == "bad-request"
+            assert "line length" in reply["message"]
+
+            async with await AuthClient.connect("127.0.0.1", port) as client:
+                # The first forward SIGKILLs the target worker, so this
+                # needs the whole healing loop: attributed unavailable
+                # error -> backoff -> respawned worker -> clean rerun.
+                served = await client.authenticate(
+                    retry=RetryPolicy(
+                        attempts=6,
+                        base_backoff_s=0.2,
+                        max_backoff_s=2.0,
+                        attempt_timeout_s=30.0,
+                    ),
+                    environment=ENV,
+                    distance_m=distance,
+                    seed=seed,
+                    rounds=2,
+                    threshold_m=2.0,
+                )
+            respawns = front.total_respawns
+            server.close()
+            await server.wait_closed()
+            return served, respawns
+
+    served, respawns = run_async(go())
+    assert respawns == 1
+    assert served.attempts >= 2
+    assert served.complete is not None and len(served.rounds) == 2
+    for decision, outcome in zip(served.rounds, expected):
+        assert_matches_outcome(decision, outcome)

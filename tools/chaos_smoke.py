@@ -1,0 +1,246 @@
+"""CI chaos smoke: SIGKILL a shard worker mid-load, verify self-healing.
+
+Runs the same request mix twice through a two-worker
+:class:`~repro.service.ShardedAuthServer` over real TCP:
+
+1. **unfaulted** — no faults, no retries; records every decision's bits
+   per session;
+2. **faulted** — a :class:`~repro.service.FaultPlan` SIGKILLs one worker
+   after its third routed request while concurrent clients are mid-load,
+   and every client carries a :class:`~repro.service.RetryPolicy`.
+
+The smoke then asserts the self-healing contract of
+``docs/service.md#fault-tolerance``:
+
+* the supervisor respawned the killed worker (``total_respawns >= 1``);
+* **zero hung requests** — every request reached a terminal reply
+  within a hard wall-clock budget (in-flight requests on the dead shard
+  got structured retriable errors, not silence);
+* every completed decision is **byte-identical** to the unfaulted run,
+  so the granted set under the fault schedule equals (and is therefore
+  a subset of) the unfaulted one.
+
+Run with ``PYTHONPATH=src python tools/chaos_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.service import (
+    AuthClient,
+    FaultPlan,
+    KillWorker,
+    RangingRequest,
+    RetryPolicy,
+    ShardedAuthServer,
+    session_key,
+    shard_for_session,
+)
+
+ENV = "quiet_lab"
+WORKERS = 2
+#: Hard wall-clock budget for the whole faulted client phase — the
+#: "zero hung requests" assertion.  Generous because a respawned spawn
+#: worker pays full package import on a cold shared runner.
+HANG_BUDGET_S = 120.0
+
+
+def request_mix(sessions: int, repeats: int) -> list[RangingRequest]:
+    """``sessions`` distinct cells, each requested ``repeats`` times.
+
+    Repeats matter: they guarantee traffic lands on the killed shard
+    both *before* the kill (to trigger it) and *after* (to exercise the
+    respawned worker), whatever the session→shard hash happens to be.
+    """
+    requests = []
+    for repeat in range(repeats):
+        for session in range(sessions):
+            requests.append(
+                RangingRequest(
+                    request_id=f"chaos-{repeat}-{session}",
+                    environment=ENV,
+                    distance_m=0.8 + 0.1 * session,
+                    seed=session,
+                    rounds=2,
+                    threshold_m=2.0,
+                )
+            )
+    return requests
+
+
+def decision_bits(served) -> tuple:
+    """Everything decision-carrying in a served stream, exactly."""
+    return (
+        tuple(
+            (
+                decision.round_index,
+                decision.trial,
+                decision.status,
+                decision.distance_m,
+                decision.accepted,
+                decision.elapsed_s,
+                decision.energy_j,
+            )
+            for decision in served.rounds
+        ),
+        served.complete.granted,
+        served.complete.reason,
+        served.complete.decided_round,
+    )
+
+
+async def run_requests(
+    port: int,
+    requests: list[RangingRequest],
+    retry: RetryPolicy | None,
+    connections: int,
+) -> dict[str, tuple]:
+    """Drive ``requests`` over ``connections`` clients; session → bits."""
+    queue: asyncio.Queue = asyncio.Queue()
+    for request in requests:
+        queue.put_nowait(request)
+    results: dict[str, tuple] = {}
+
+    async def client_loop() -> None:
+        async with await AuthClient.connect("127.0.0.1", port) as client:
+            while True:
+                try:
+                    request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                served = await client.authenticate(
+                    retry=retry,
+                    request_id=request.request_id,
+                    environment=request.environment,
+                    distance_m=request.distance_m,
+                    seed=request.seed,
+                    rounds=request.rounds,
+                    threshold_m=request.threshold_m,
+                )
+                key = session_key(request)
+                bits = decision_bits(served)
+                if results.setdefault(key, bits) != bits:
+                    raise AssertionError(
+                        f"session {key} answered differently across "
+                        f"requests: {results[key]} != {bits}"
+                    )
+
+    await asyncio.gather(*(client_loop() for _ in range(connections)))
+    return results
+
+
+async def serve_and_run(
+    fault_plan: FaultPlan | None,
+    requests: list[RangingRequest],
+    retry: RetryPolicy | None,
+    connections: int,
+) -> tuple[dict[str, tuple], int]:
+    front = ShardedAuthServer(
+        WORKERS,
+        fault_plan=fault_plan,
+        respawn_backoff_s=0.1,
+        service_options=dict(batch_size=8),
+    )
+    async with front:
+        server = await front.serve("127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        results = await asyncio.wait_for(
+            run_requests(port, requests, retry, connections), HANG_BUDGET_S
+        )
+        respawns = front.total_respawns
+        server.close()
+        await server.wait_closed()
+    return results, respawns
+
+
+async def run_smoke(sessions: int, repeats: int, connections: int) -> int:
+    requests = request_mix(sessions, repeats)
+    target_shard = shard_for_session(session_key(requests[0]), WORKERS)
+    plan = FaultPlan(
+        kill_workers=(KillWorker(shard=target_shard, after_requests=3),)
+    )
+    retry = RetryPolicy(
+        attempts=8,
+        base_backoff_s=0.2,
+        max_backoff_s=2.0,
+        attempt_timeout_s=60.0,
+    )
+
+    print(
+        f"chaos smoke: {len(requests)} requests over {sessions} sessions, "
+        f"SIGKILL shard {target_shard} after 3 routed requests"
+    )
+    baseline, baseline_respawns = await serve_and_run(
+        None, requests, None, connections
+    )
+    if baseline_respawns != 0:
+        print(
+            f"FAIL: unfaulted run respawned {baseline_respawns} workers",
+            file=sys.stderr,
+        )
+        return 1
+
+    try:
+        faulted, respawns = await serve_and_run(
+            plan, requests, retry, connections
+        )
+    except asyncio.TimeoutError:
+        print(
+            f"FAIL: faulted run had requests still hung after "
+            f"{HANG_BUDGET_S:.0f}s",
+            file=sys.stderr,
+        )
+        return 1
+
+    if respawns < 1:
+        print("FAIL: worker was never respawned", file=sys.stderr)
+        return 1
+    if set(faulted) != set(baseline):
+        print(
+            f"FAIL: session coverage differs: faulted served "
+            f"{sorted(faulted)} vs {sorted(baseline)}",
+            file=sys.stderr,
+        )
+        return 1
+    mismatched = [key for key in baseline if faulted[key] != baseline[key]]
+    if mismatched:
+        for key in mismatched:
+            print(f"FAIL: session {key} decisions differ", file=sys.stderr)
+            print(f"  unfaulted: {baseline[key]}", file=sys.stderr)
+            print(f"  faulted:   {faulted[key]}", file=sys.stderr)
+        return 1
+
+    granted = sum(1 for bits in faulted.values() if bits[1])
+    print(
+        f"chaos smoke ok: {respawns} respawn(s), {len(requests)} requests "
+        f"all terminal, {len(baseline)} sessions byte-identical to the "
+        f"unfaulted run ({granted} granted)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sessions", type=int, default=4, help="distinct session cells"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="requests per session"
+    )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=3,
+        help="concurrent client connections",
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(
+        run_smoke(args.sessions, args.repeats, args.connections)
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

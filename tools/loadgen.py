@@ -27,6 +27,7 @@ import asyncio
 import json
 import sys
 
+from repro.service.client import RetryPolicy
 from repro.service.loadgen import LOADGEN_MODES, run_loadgen
 
 
@@ -96,6 +97,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP connections to multiplex over (default: min(concurrency, 8))",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry attempts per request beyond the first on retriable "
+        "failures (busy/timeout/unavailable/connection loss); 0 disables",
+    )
+    parser.add_argument(
+        "--attempt-timeout",
+        type=float,
+        default=None,
+        help="per-attempt timeout in seconds (catches silently lost "
+        "replies); requires --retries to be useful",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="server-side deadline budget stamped on every request "
+        "(0 disables)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -106,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    retry = None
+    if args.retries > 0:
+        retry = RetryPolicy(
+            attempts=args.retries + 1,
+            attempt_timeout_s=args.attempt_timeout,
+        )
     report = asyncio.run(
         run_loadgen(
             args.host,
@@ -122,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
             seed_base=args.seed,
             threshold_m=args.threshold,
             connections=args.connections,
+            deadline_ms=args.deadline_ms,
+            retry=retry,
         )
     )
     payload = report.to_json()
@@ -138,7 +168,9 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"{report.mode} loop, {label}: "
         f"{report.requests} requests ({report.ok} ok, {report.busy} busy, "
-        f"{report.failed} failed) in {report.measured_s:.2f}s"
+        f"{report.timeout} timeout, {report.error} error, "
+        f"{report.failed} failed; {report.retried} retried) "
+        f"in {report.measured_s:.2f}s"
     )
     print(
         f"  throughput: {report.rounds_per_s:.2f} rounds/s "
@@ -146,9 +178,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     if report.latency_ms:
         print(
-            "  latency ms: "
+            "  latency ms (retry-inflated): "
             + ", ".join(
                 f"{key}={report.latency_ms[key]:.1f}"
+                for key in ("p50", "p95", "p99", "mean", "max")
+            )
+        )
+    if report.first_attempt_latency_ms:
+        print(
+            "  latency ms (first-attempt ok): "
+            + ", ".join(
+                f"{key}={report.first_attempt_latency_ms[key]:.1f}"
                 for key in ("p50", "p95", "p99", "mean", "max")
             )
         )
@@ -158,7 +198,9 @@ def main(argv: list[str] | None = None) -> int:
             f"{entry['rounds']} rounds in {entry['batches']} batches "
             f"(largest {entry['largest_batch']}, "
             f"queue high-water {entry['queue_high_water']}, "
-            f"histogram {entry['batch_histogram'] or '-'})"
+            f"histogram {entry['batch_histogram'] or '-'}, "
+            f"deadline-expired {entry['deadline_expired']}, "
+            f"dsp-timeouts {entry['dsp_timeouts']})"
         )
     if args.json == "-":
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
