@@ -88,6 +88,17 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="persist shareable measurements as JSON under DIR",
     )
     parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help=(
+            "attach a capture corpus at DIR as a cache tier: cells "
+            "recorded there replay render-free (detect/decide only, "
+            "byte-verified), cells executed live are recorded into it "
+            "(docs/corpus.md)"
+        ),
+    )
+    parser.add_argument(
         "--dsp-backend",
         default=None,
         metavar="NAME",
@@ -168,6 +179,113 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_engine_options(roc_parser)
+
+    capture_parser = sub.add_parser(
+        "capture",
+        help="record a capture corpus: run cells live, persist renders",
+        description=(
+            "Run a grid of ranging cells live and persist their rendered "
+            "captures into a content-addressed corpus (repro.corpus): "
+            "each entry stores both capture buffers plus the frozen "
+            "pre-render state, so `repro replay` re-runs only "
+            "detect/decide and byte-verifies every decision.  "
+            "See docs/corpus.md."
+        ),
+    )
+    capture_parser.add_argument(
+        "--profile",
+        choices=("paper", "mini"),
+        default="paper",
+        help=(
+            "'paper' records at the paper-scale config across preset "
+            "environments; 'mini' records the quantized 4 kHz profile "
+            "(small enough to check into git)"
+        ),
+    )
+    capture_parser.add_argument(
+        "--environments",
+        nargs="+",
+        default=None,
+        metavar="ENV",
+        help="preset environments to record (paper profile; default: office)",
+    )
+    capture_parser.add_argument(
+        "--distances",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="M",
+        help="device separations in meters (default: 0.5 1.0 2.0)",
+    )
+    capture_parser.add_argument(
+        "--trials", type=int, default=4, help="trials per cell (default: 4)"
+    )
+    capture_parser.add_argument("--seed", type=int, default=0)
+    _add_engine_options(capture_parser)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="replay a capture corpus, byte-verifying every decision",
+        description=(
+            "Re-run detect/decide from a recorded corpus without "
+            "rendering anything (repro.corpus): in strict mode (the "
+            "default) any replayed decision differing from the recording "
+            "by even one byte fails the run — the cross-version "
+            "regression check CI runs against the golden corpus.  "
+            "See docs/corpus.md."
+        ),
+    )
+    replay_parser.add_argument(
+        "--corpus",
+        required=True,
+        metavar="DIR",
+        help="corpus root to replay (every reconstructible entry)",
+    )
+    replay_parser.add_argument(
+        "--tolerant",
+        action="store_true",
+        help=(
+            "count decision mismatches per entry instead of failing on "
+            "the first (for replaying under a deliberately different "
+            "detector or backend)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--batch",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "trials per stacked detection pass (default: auto). Replayed "
+            "decisions are identical for any value."
+        ),
+    )
+    replay_parser.add_argument(
+        "--thresholds",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="TAU",
+        help=(
+            "also fan each replayed round's evidence out over this "
+            "threshold grid and print grant counts per tau (no extra "
+            "ranging cost)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the replay report as JSON instead of text",
+    )
+    replay_parser.add_argument(
+        "--dsp-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "DSP kernel backend, as for run/run-all: "
+            f"{', '.join(available_backends())}, or 'auto'"
+        ),
+    )
 
     serve_parser = sub.add_parser(
         "serve",
@@ -298,6 +416,7 @@ def _build_engine(args: argparse.Namespace) -> TrialEngine:
         cache=MeasurementCache(disk_dir=args.cache_dir),
         progress=progress,
         batch_size=args.batch,
+        corpus=getattr(args, "corpus", None),
     )
 
 
@@ -346,6 +465,116 @@ def _cmd_roc(args: argparse.Namespace) -> int:
         cached_trials=engine.counters.trials_cached,
     )
     print(f"\n[roc completed: {summary}, {sweep.decisions} decisions]")
+    return 0
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from repro.corpus import build_capture_specs
+    from repro.eval.engine import TrialPlan
+
+    if args.corpus is None:
+        raise SystemExit("capture: --corpus DIR is required")
+    specs = build_capture_specs(
+        profile=args.profile,
+        environments=args.environments,
+        distances=args.distances,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    start = time.time()
+    with use_engine(_build_engine(args)) as engine:
+        try:
+            engine.run_plan(TrialPlan(name="capture", specs=specs))
+        finally:
+            engine.close()
+        counters = engine.counters
+    print(
+        f"recorded {counters.cells_executed} cells "
+        f"({counters.trials_executed} trials) into {args.corpus}"
+        + (
+            f"; {counters.cells_replayed} already recorded (replayed + "
+            "byte-verified)"
+            if counters.cells_replayed
+            else ""
+        )
+    )
+    print(
+        "[capture completed: "
+        + format_throughput(counters.trials_executed, time.time() - start)
+        + "]"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.core.decisions import ThresholdPolicy, decide_round
+    from repro.corpus import ReplayingSessionRunner
+    from repro.sim.pipeline import render_call_counts, reset_render_call_counts
+
+    runner = ReplayingSessionRunner(
+        args.corpus, batch_size=args.batch, strict=not args.tolerant
+    )
+    reset_render_call_counts()
+    start = time.time()
+    reports = runner.replay_all()
+    elapsed = time.time() - start
+    renders = render_call_counts()
+    # The replay contract: nothing re-rendered.  A nonzero count means a
+    # code path silently fell back to live synthesis — fail the run.
+    clean = renders == {"noise_plans": 0, "arrival_captures": 0}
+    mismatched = sum(len(r.mismatches) for r in reports)
+
+    if args.json:
+        payload = {
+            "corpus": args.corpus,
+            "entries": [
+                {
+                    "fingerprint": r.fingerprint,
+                    "environment": r.environment,
+                    "distance_m": r.distance_m,
+                    "replayed_trials": r.replayed_trials,
+                    "restored_trials": r.restored_trials,
+                    "mismatches": r.mismatches,
+                }
+                for r in reports
+            ],
+            "render_calls": renders,
+            "elapsed_s": elapsed,
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for r in reports:
+            status = "ok" if not r.mismatches else f"{len(r.mismatches)} MISMATCHED"
+            print(
+                f"{r.fingerprint}  {r.environment:12s} {r.distance_m:5.2f} m  "
+                f"{r.replayed_trials} replayed"
+                + (f" + {r.restored_trials} restored" if r.restored_trials else "")
+                + f"  [{status}]"
+            )
+        if args.thresholds:
+            outcomes = [o for r in reports for o in r.cell.outcomes]
+            print("\nthreshold fan-out over replayed evidence:")
+            for tau in args.thresholds:
+                policy = ThresholdPolicy(tau)
+                grants = sum(
+                    decide_round(outcome, policy).granted
+                    for outcome in outcomes
+                )
+                print(f"  tau={tau:5.2f} m  {grants}/{len(outcomes)} granted")
+        verified = sum(r.replayed_trials for r in reports)
+        print(
+            f"\n[replayed {len(reports)} entries, {verified} trials "
+            f"byte-verified in {elapsed:.2f}s; render calls: "
+            f"{renders['noise_plans']} noise, "
+            f"{renders['arrival_captures']} arrivals]"
+        )
+    if not clean:
+        print("replay error: render stages executed", file=sys.stderr)
+        return 1
+    if mismatched:
+        return 1
     return 0
 
 
@@ -455,6 +684,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         _apply_dsp_backend(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "capture":
+            return _cmd_capture(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
         if args.command == "run":
             with use_engine(_build_engine(args)) as engine:
                 try:

@@ -1,0 +1,95 @@
+"""The corpus as a cache tier behind the engine's measurement cache.
+
+The :class:`~repro.eval.engine.TrialEngine` lookup order with a corpus
+attached becomes::
+
+    MeasurementCache (memory)  →  MeasurementCache disk spillover (JSON)
+      →  CorpusCache (replay detect/decide from stored captures)
+      →  live execution (recorded back into the corpus)
+
+A corpus hit re-runs only the cheap pipeline tail — milliseconds against
+the render-dominated cost of a live cell — and in strict mode doubles as
+a regression check, since every replayed decision is verified
+byte-for-byte against the recording.  Integrity failures propagate
+(fail closed) rather than falling through to a silent re-render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.eval.engine import CellResult, TrialSpec
+
+from repro.corpus.record import record_cell_spec
+from repro.corpus.replay import ReplayingSessionRunner
+from repro.corpus.store import CaptureCorpus
+
+__all__ = ["CorpusCache", "CorpusCacheStats"]
+
+
+@dataclass
+class CorpusCacheStats:
+    """Cumulative accounting of one corpus tier."""
+
+    replayed_cells: int = 0
+    replayed_trials: int = 0
+    recorded_cells: int = 0
+    recorded_trials: int = 0
+    misses: int = 0
+
+
+class CorpusCache:
+    """Replay-on-hit / record-on-miss tier over a :class:`CaptureCorpus`.
+
+    Parameters
+    ----------
+    corpus:
+        The store, or a root path to open/create one at.
+    record:
+        Whether cells executed live through this tier are written back
+        (``record=False`` makes the tier read-only — replay hits, plain
+        execution on miss).
+    strict:
+        Verify every replayed decision against the recording
+        byte-for-byte (the default; see
+        :class:`~repro.corpus.ReplayingSessionRunner`).
+    batch_size:
+        Stacked-pass size for both replay and recording.
+    """
+
+    def __init__(
+        self,
+        corpus: CaptureCorpus | str | Path,
+        *,
+        record: bool = True,
+        strict: bool = True,
+        batch_size: int | None = None,
+    ) -> None:
+        if not isinstance(corpus, CaptureCorpus):
+            corpus = CaptureCorpus(corpus)
+        self.corpus = corpus
+        self.record_on_miss = record
+        self.strict = strict
+        self.batch_size = batch_size
+        self.stats = CorpusCacheStats()
+
+    def fetch(self, spec: TrialSpec) -> CellResult | None:
+        """Replay ``spec``'s cell from the corpus, or ``None`` on miss."""
+        if spec.fingerprint() not in self.corpus:
+            self.stats.misses += 1
+            return None
+        runner = ReplayingSessionRunner(
+            self.corpus, batch_size=self.batch_size, strict=self.strict
+        )
+        cell = runner.replay_cell(spec)
+        self.stats.replayed_cells += 1
+        self.stats.replayed_trials += spec.n_trials
+        return cell
+
+    def record(self, spec: TrialSpec) -> CellResult:
+        """Execute ``spec`` live and persist its captures."""
+        cell = record_cell_spec(spec, self.corpus, self.batch_size)
+        self.stats.recorded_cells += 1
+        self.stats.recorded_trials += spec.n_trials
+        return cell

@@ -1,0 +1,239 @@
+"""Lossless codecs between pipeline values and corpus-storable data.
+
+The corpus stores exactly three kinds of payload, and each has one
+round-trip codec here:
+
+* **recordings** — the render stage's capture buffers.  They are
+  :func:`repro.dsp.quantize.quantize_pcm16` outputs: float64 arrays whose
+  values sit on the 16-bit integer grid, so :func:`encode_recording`
+  stores them as int16 (four times smaller on disk) after *verifying*
+  the conversion is exact, and falls back to raw float64 for any buffer
+  that is not on the grid (a custom mixer, a synthetic test array).
+  :func:`decode_recording` restores the float64 view bit-for-bit.
+* **outcomes** — the terminal :class:`~repro.core.ranging.RangingOutcome`
+  of each trial, flattened to plain JSON types field by field.  Floats
+  survive JSON exactly (``repr`` is shortest-round-trip), which is what
+  lets strict replay compare decisions *byte for byte* through
+  :func:`canonical_outcome_json`.
+* **specs** — a :class:`~repro.eval.engine.TrialSpec` whose fields are
+  all plain data (preset-name or scalar-dataclass environment, optional
+  :class:`~repro.core.config.ProtocolConfig` override, no room /
+  interference / engine objects) serializes to a manifest dict and back;
+  anything richer records ``None`` and replays only when the caller
+  supplies the original spec object (:func:`spec_to_manifest` /
+  :func:`spec_from_manifest`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.acoustics.environment import Environment, ReverbProfile
+from repro.acoustics.noise import NoiseModel
+from repro.core.config import ProtocolConfig
+from repro.core.detection import DetectionResult
+from repro.core.ranging import DeviceObservation, RangingOutcome, RangingStatus
+from repro.eval.engine import TrialSpec
+
+__all__ = [
+    "canonical_outcome_json",
+    "decode_recording",
+    "encode_recording",
+    "outcome_from_json",
+    "outcome_to_json",
+    "spec_from_manifest",
+    "spec_to_manifest",
+]
+
+
+# ----------------------------------------------------------------------
+# Recordings
+# ----------------------------------------------------------------------
+
+
+def encode_recording(recording: np.ndarray) -> np.ndarray:
+    """The storage form of one capture buffer (int16 when exact).
+
+    The pipeline's recordings are PCM16-quantized float64, so the int16
+    view loses nothing; the round trip is *verified* before committing to
+    it, so an off-grid buffer degrades to float64 storage instead of
+    silently rounding.
+    """
+    recording = np.asarray(recording)
+    if recording.dtype == np.float64:
+        compact = recording.astype(np.int16)
+        if np.array_equal(compact.astype(np.float64), recording):
+            return compact
+    return recording
+
+
+def decode_recording(stored: np.ndarray) -> np.ndarray:
+    """Invert :func:`encode_recording` back to the pipeline's float64."""
+    stored = np.asarray(stored)
+    if stored.dtype == np.int16:
+        return stored.astype(np.float64)
+    return stored
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+# ----------------------------------------------------------------------
+
+
+def _detection_to_json(result: DetectionResult) -> dict:
+    return {
+        "location": None if result.location is None else int(result.location),
+        "peak_power": float(result.peak_power),
+        "threshold": float(result.threshold),
+        "windows_scanned": int(result.windows_scanned),
+        "label": result.label,
+    }
+
+
+def _detection_from_json(data: dict) -> DetectionResult:
+    return DetectionResult(
+        location=data["location"],
+        peak_power=data["peak_power"],
+        threshold=data["threshold"],
+        windows_scanned=data["windows_scanned"],
+        label=data["label"],
+    )
+
+
+def _observation_to_json(obs: DeviceObservation | None) -> dict | None:
+    if obs is None:
+        return None
+    return {
+        "own": _detection_to_json(obs.own),
+        "remote": _detection_to_json(obs.remote),
+        "sample_rate": float(obs.sample_rate),
+    }
+
+
+def _observation_from_json(data: dict | None) -> DeviceObservation | None:
+    if data is None:
+        return None
+    return DeviceObservation(
+        own=_detection_from_json(data["own"]),
+        remote=_detection_from_json(data["remote"]),
+        sample_rate=data["sample_rate"],
+    )
+
+
+def outcome_to_json(outcome: RangingOutcome) -> dict:
+    """One trial's terminal outcome as plain JSON types (lossless)."""
+    return {
+        "status": outcome.status.value,
+        "distance_m": outcome.distance_m,
+        "auth_observation": _observation_to_json(outcome.auth_observation),
+        "vouch_observation": _observation_to_json(outcome.vouch_observation),
+        "elapsed_s": outcome.elapsed_s,
+        "energy_j": outcome.energy_j,
+    }
+
+
+def outcome_from_json(data: dict) -> RangingOutcome:
+    """Invert :func:`outcome_to_json` field by field."""
+    return RangingOutcome(
+        status=RangingStatus(data["status"]),
+        distance_m=data["distance_m"],
+        auth_observation=_observation_from_json(data["auth_observation"]),
+        vouch_observation=_observation_from_json(data["vouch_observation"]),
+        elapsed_s=data["elapsed_s"],
+        energy_j=data["energy_j"],
+    )
+
+
+def canonical_outcome_json(outcome_json: dict) -> str:
+    """The canonical byte string of one outcome's JSON form.
+
+    Key-sorted, separator-normalized — two outcomes are byte-identical
+    exactly when these strings are equal, which is the comparison strict
+    replay makes between a replayed decision and the recorded one.
+    """
+    return json.dumps(
+        outcome_json, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+
+def _environment_to_json(environment: Environment | str) -> dict | None:
+    if isinstance(environment, str):
+        return {"preset": environment}
+    if (
+        type(environment) is Environment
+        and type(environment.noise) is NoiseModel
+        and type(environment.reverb) is ReverbProfile
+    ):
+        return {
+            "custom": {
+                "name": environment.name,
+                "description": environment.description,
+                "noise": asdict(environment.noise),
+                "reverb": asdict(environment.reverb),
+            }
+        }
+    return None
+
+
+def _environment_from_json(data: dict) -> Environment | str:
+    if "preset" in data:
+        return data["preset"]
+    custom = data["custom"]
+    return Environment(
+        name=custom["name"],
+        noise=NoiseModel(**custom["noise"]),
+        reverb=ReverbProfile(**custom["reverb"]),
+        description=custom["description"],
+    )
+
+
+def spec_to_manifest(spec: TrialSpec) -> dict | None:
+    """``spec`` as a manifest dict, or ``None`` when not reconstructible.
+
+    Room overrides, interference factories, and engine overrides carry
+    arbitrary objects the corpus cannot promise to rebuild; entries for
+    such specs still record and replay, but only when the caller passes
+    the original spec object back (see
+    :meth:`repro.corpus.ReplayingSessionRunner.replay_entry`).
+    """
+    if (
+        spec.room is not None
+        or spec.interference_factory is not None
+        or spec.engine is not None
+    ):
+        return None
+    environment = _environment_to_json(spec.environment)
+    if environment is None:
+        return None
+    if spec.config is not None and type(spec.config) is not ProtocolConfig:
+        return None
+    return {
+        "environment": environment,
+        "distance_m": spec.distance_m,
+        "n_trials": spec.n_trials,
+        "seed": spec.seed,
+        "config": None if spec.config is None else asdict(spec.config),
+        "key": spec.key,
+    }
+
+
+def spec_from_manifest(data: dict) -> TrialSpec:
+    """Rebuild the :class:`TrialSpec` a manifest dict describes."""
+    return TrialSpec(
+        environment=_environment_from_json(data["environment"]),
+        distance_m=data["distance_m"],
+        n_trials=data["n_trials"],
+        seed=data["seed"],
+        config=(
+            None if data["config"] is None else ProtocolConfig(**data["config"])
+        ),
+        key=data.get("key", ""),
+    )

@@ -39,7 +39,13 @@ from typing import Sequence
 
 from repro.service.client import AuthClient, RetryPolicy, ServiceError
 
-__all__ = ["LoadgenReport", "RequestSample", "run_loadgen"]
+__all__ = [
+    "LoadgenReport",
+    "RequestCycler",
+    "RequestSample",
+    "request_mix_from_corpus",
+    "run_loadgen",
+]
 
 #: Arrival disciplines understood by :func:`run_loadgen`.
 LOADGEN_MODES = ("closed", "open")
@@ -139,6 +145,107 @@ class LoadgenReport:
             },
             "scheduler_stats": self.scheduler_stats,
         }
+
+
+class RequestCycler:
+    """Round-robin over a request mix, advancing trials per revisit.
+
+    Each mix item describes one session identity — ``environment``,
+    ``distance_m``, ``seed``, ``rounds`` — and consecutive requests cycle
+    the pool so a sharded server sees traffic on every shard.  When the
+    cycle returns to an item, ``first_trial`` has advanced by that item's
+    ``rounds``, so repeated visits address fresh trials while every
+    individual request stays bit-identical to its engine trial.
+    """
+
+    def __init__(self, mix: Sequence[dict]) -> None:
+        if not mix:
+            raise ValueError("request mix must not be empty")
+        self.mix = [dict(item) for item in mix]
+        self.counter = 0
+
+    @classmethod
+    def uniform(
+        cls,
+        environment: str,
+        distance_m: float,
+        seed_base: int,
+        sessions: int,
+        rounds: int,
+    ) -> "RequestCycler":
+        """The default mix: one cell, ``sessions`` seed-varied identities."""
+        return cls(
+            [
+                {
+                    "environment": environment,
+                    "distance_m": distance_m,
+                    "seed": seed_base + session,
+                    "rounds": rounds,
+                }
+                for session in range(sessions)
+            ]
+        )
+
+    def __len__(self) -> int:
+        return len(self.mix)
+
+    def next(self) -> dict:
+        """Request fields for the next arrival (excluding policy knobs)."""
+        index = self.counter
+        self.counter += 1
+        item = self.mix[index % len(self.mix)]
+        return {
+            "environment": item["environment"],
+            "distance_m": item["distance_m"],
+            "seed": item["seed"],
+            "rounds": item["rounds"],
+            "first_trial": (index // len(self.mix)) * item["rounds"],
+        }
+
+
+def request_mix_from_corpus(
+    root: str, rounds: int | None = None
+) -> list[dict]:
+    """A request mix replaying a capture corpus's cells as live traffic.
+
+    Each servable corpus entry becomes one mix item carrying the
+    recorded cell's environment, distance, and seed — so the service
+    computes the very trials the corpus recorded, decision-for-decision
+    (the service and the recorder share one session construction path).
+    Servable means reconstructible, preset-environment, default-config:
+    the request schema names environments by preset and carries no config
+    override.  ``rounds`` caps rounds per request (default: each entry's
+    full trial count).
+    """
+    from repro.corpus import CaptureCorpus
+
+    corpus = CaptureCorpus(root, create=False)
+    mix: list[dict] = []
+    for fingerprint in corpus.fingerprints():
+        manifest = corpus.read_manifest(fingerprint)
+        spec = manifest.get("spec")
+        if spec is None:
+            continue
+        environment = spec.get("environment")
+        if not isinstance(environment, dict) or "preset" not in environment:
+            continue
+        if spec.get("config") is not None:
+            continue
+        mix.append(
+            {
+                "environment": environment["preset"],
+                "distance_m": manifest["distance_m"],
+                "seed": manifest["seed"],
+                "rounds": rounds or manifest["n_trials"],
+            }
+        )
+    if not mix:
+        raise ValueError(
+            f"corpus at {root} has no servable entries (preset "
+            "environment, default config) — record one with "
+            "`repro capture` at the paper profile"
+        )
+    return mix
 
 
 def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -269,6 +376,7 @@ async def run_loadgen(
     rng_seed: int = 0,
     deadline_ms: float = 0.0,
     retry: RetryPolicy | None = None,
+    mix: Sequence[dict] | None = None,
 ) -> LoadgenReport:
     """Drive the service and return the measured :class:`LoadgenReport`.
 
@@ -281,6 +389,10 @@ async def run_loadgen(
     stamps every request with a server-side deadline budget, and
     ``retry`` arms the client's self-healing path (both off by
     default, keeping steady-state benchmarks comparable to before).
+    ``mix`` replaces the default seed-varied session pool with explicit
+    request identities (see :class:`RequestCycler` and
+    :func:`request_mix_from_corpus`); ``sessions`` / ``environment`` /
+    ``distance_m`` / ``seed_base`` are ignored when it is given.
     """
     if mode not in LOADGEN_MODES:
         raise ValueError(f"mode must be one of {LOADGEN_MODES}, got {mode!r}")
@@ -288,6 +400,12 @@ async def run_loadgen(
         raise ValueError(f"concurrency must be >= 1, got {concurrency!r}")
     if sessions < 1:
         raise ValueError(f"sessions must be >= 1, got {sessions!r}")
+    if mix is not None:
+        cycler = RequestCycler(mix)
+    else:
+        cycler = RequestCycler.uniform(
+            environment, distance_m, seed_base, sessions, rounds
+        )
     n_connections = connections or min(concurrency, 8)
     clients = [
         await AuthClient.connect(host, port) for _ in range(n_connections)
@@ -296,23 +414,13 @@ async def run_loadgen(
     loop = asyncio.get_running_loop()
     start = loop.time()
     deadline = start + warmup_s + duration_s
-    counter = 0
 
     def next_request():
-        """Round-robin the session pool; advance trials per visit."""
-        nonlocal counter
-        index = counter
-        counter += 1
-        session = index % sessions
-        return {
-            "environment": environment,
-            "distance_m": distance_m,
-            "seed": seed_base + session,
-            "rounds": rounds,
-            "first_trial": (index // sessions) * rounds,
-            "threshold_m": threshold_m,
-            "deadline_ms": deadline_ms,
-        }
+        """Cycle the request mix; stamp the run-wide policy knobs."""
+        fields = cycler.next()
+        fields["threshold_m"] = threshold_m
+        fields["deadline_ms"] = deadline_ms
+        return fields
 
     try:
         if mode == "closed":
@@ -369,7 +477,7 @@ async def run_loadgen(
             duration_s=duration_s,
             warmup_s=warmup_s,
             rounds_per_request=rounds,
-            sessions=sessions,
+            sessions=len(cycler),
         )
         summarize(samples, report, warmup_end_s=start + warmup_s)
         try:

@@ -1,0 +1,124 @@
+"""Golden pins for the content-addressing scheme.
+
+Every measurement cache key and every capture-corpus entry address is a
+:meth:`TrialSpec.fingerprint` digest, and the checked-in golden corpus
+(``tests/data/golden_corpus``) is addressed by the digests pinned here.
+If any of these tests fails, the fingerprint scheme drifted: persisted
+caches silently miss, and recorded corpora (including CI's golden one)
+become unreadable at their old addresses.  That can be a legitimate
+change — but it must be loud, and it must come with a regenerated golden
+corpus and updated pins, never by accident.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.corpus import (
+    build_capture_specs,
+    mini_environment,
+    mini_protocol_config,
+)
+from repro.eval.engine import TrialSpec
+from repro.eval.engine.spec import fingerprint_value
+
+# One digest per representative spec shape: preset-environment cells at
+# default and explicit configs, and the two golden-corpus cells.
+PINNED_FINGERPRINTS = {
+    "office_1m": "a2ef57cb89a5a81320cbf43b3114bc55",
+    "corridor_2m_seed3": "1e9d60cb3375387a08b850c235057533",
+    "office_explicit_config": "ec536bc830b623c3eebc6373abbc9379",
+    "golden_mini_half_m": "2be3a1f8ff00f99528c1b6be599ee51b",
+    "golden_mini_3m": "38ddfb6e784bd3d743fc9f19c53b241d",
+}
+
+
+def _pinned_specs() -> dict[str, TrialSpec]:
+    return {
+        "office_1m": TrialSpec(
+            environment="office", distance_m=1.0, n_trials=10, seed=0
+        ),
+        "corridor_2m_seed3": TrialSpec(
+            environment="corridor", distance_m=2.0, n_trials=5, seed=3
+        ),
+        "office_explicit_config": TrialSpec(
+            environment="office",
+            distance_m=1.0,
+            n_trials=10,
+            seed=0,
+            config=ProtocolConfig(),
+        ),
+        "golden_mini_half_m": build_capture_specs(
+            profile="mini", distances=[0.5], trials=2, seed=2017
+        )[0],
+        "golden_mini_3m": build_capture_specs(
+            profile="mini", distances=[3.0], trials=2, seed=2017
+        )[0],
+    }
+
+
+def test_pinned_spec_fingerprints_are_stable():
+    specs = _pinned_specs()
+    assert specs.keys() == PINNED_FINGERPRINTS.keys()
+    actual = {name: spec.fingerprint() for name, spec in specs.items()}
+    assert actual == PINNED_FINGERPRINTS, (
+        "TrialSpec.fingerprint() drifted — persisted caches and recorded "
+        "corpora are addressed by these digests; regenerate "
+        "tests/data/golden_corpus and update the pins deliberately"
+    )
+
+
+def test_explicit_default_config_fingerprints_like_none():
+    """``config=None`` means the default config — same address."""
+    implicit = TrialSpec(
+        environment="office", distance_m=1.0, n_trials=10, seed=0
+    )
+    explicit = TrialSpec(
+        environment="office",
+        distance_m=1.0,
+        n_trials=10,
+        seed=0,
+        config=ProtocolConfig(),
+    )
+    # The digests differ (None tokenizes as 'none') but both are pinned
+    # above, so a scheme change to unify them would also fail loudly.
+    assert implicit.fingerprint() != explicit.fingerprint()
+
+
+def test_fingerprint_value_tokens_are_stable():
+    """The value-tokenizer output for the mini profile, frozen verbatim."""
+    assert fingerprint_value(None) == "none"
+    assert fingerprint_value(mini_protocol_config()) == (
+        "ProtocolConfig(sample_rate=4000.0,band_low=1200.0,"
+        "band_high=1900.0,n_candidates=5,signal_length=512,"
+        "reference_peak=32000.0,alpha=0.01,beta_fraction=0.005,"
+        "epsilon=0.01,theta=1,coarse_step=100,fine_step=2,"
+        "fine_radius=120,min_tones=1,max_tones=4,speed_of_sound=343.0)"
+    )
+    assert fingerprint_value(mini_environment()) == (
+        "Environment(name='mini_quiet',"
+        "noise=NoiseModel(low_freq_std=10.0,low_freq_cutoff_hz=800.0,"
+        "broadband_std=2.0,filter_order=2),"
+        "reverb=ReverbProfile(n_reflections=0,max_spread_samples=2,"
+        "reflection_strength=0.0,decay=0.5,group_delay_samples=2,"
+        "ripple_db=0.3),"
+        "description='quantized quiet scene for the golden replay corpus')"
+    )
+
+
+def test_fingerprint_ignores_key_and_depends_on_content():
+    base = dict(environment="office", distance_m=1.0, n_trials=10, seed=0)
+    assert (
+        TrialSpec(**base, key="a").fingerprint()
+        == TrialSpec(**base, key="b").fingerprint()
+        == PINNED_FINGERPRINTS["office_1m"]
+    )
+    for variation in (
+        dict(base, distance_m=1.5),
+        dict(base, n_trials=11),
+        dict(base, seed=1),
+        dict(base, environment="corridor"),
+    ):
+        assert (
+            TrialSpec(**variation).fingerprint()
+            != PINNED_FINGERPRINTS["office_1m"]
+        )

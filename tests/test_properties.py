@@ -193,3 +193,125 @@ def test_wrong_reference_never_detected_clean(played_idx, expected_idx):
     else:
         # Some expected tone is missing entirely → α floor fails.
         assert not result.present
+
+
+# ----------------------------------------------------------------------
+# Capture-corpus codec and store (repro.corpus)
+# ----------------------------------------------------------------------
+
+from hypothesis.extra import numpy as hnp  # noqa: E402
+
+from repro.corpus import (  # noqa: E402
+    CaptureCorpus,
+    CorpusIntegrityError,
+    decode_recording,
+    encode_recording,
+    spec_from_manifest,
+    spec_to_manifest,
+)
+from repro.eval.engine import TrialSpec  # noqa: E402
+
+storable_arrays = hnp.arrays(
+    dtype=st.sampled_from(
+        [np.float64, np.float32, np.int16, np.int32, np.uint8, np.bool_]
+    ),
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=32),
+)
+
+
+@given(st.dictionaries(st.sampled_from("abcdef"), storable_arrays, min_size=1))
+@settings(max_examples=25, deadline=None)
+def test_store_round_trips_arbitrary_arrays_bit_exactly(tmp_path_factory, arrays):
+    corpus = CaptureCorpus(tmp_path_factory.mktemp("prop"))
+    corpus.write_entry("f" * 32, {"kind": "raw"}, arrays)
+    restored = corpus.read_arrays("f" * 32)
+    assert restored.keys() == arrays.keys()
+    for name, original in arrays.items():
+        assert restored[name].dtype == original.dtype
+        assert restored[name].shape == original.shape
+        assert np.array_equal(restored[name], original, equal_nan=True)
+
+
+@given(
+    st.lists(
+        st.integers(min_value=PCM16_MIN, max_value=PCM16_MAX),
+        min_size=1,
+        max_size=64,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_recording_codec_lossless_on_pcm16_grid(values):
+    """Rendered recordings are float64 on the int16 grid; the codec must
+    pack them to int16 and restore the identical float64 array."""
+    recording = np.array(values, dtype=np.float64)
+    encoded = encode_recording(recording)
+    assert encoded.dtype == np.int16
+    decoded = decode_recording(encoded)
+    assert decoded.dtype == np.float64
+    assert np.array_equal(decoded, recording)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=64,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_recording_codec_never_lossy_off_grid(values):
+    """Values off the int16 grid must pass through bit-exactly, never be
+    rounded into the compact representation."""
+    recording = np.array(values, dtype=np.float64)
+    assert np.array_equal(
+        decode_recording(encode_recording(recording)), recording
+    )
+
+
+@given(
+    st.sampled_from(["office", "cafe", "corridor"]),
+    st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=2**31),
+    st.randoms(),
+)
+@settings(max_examples=25, deadline=None)
+def test_spec_fingerprint_survives_manifest_key_reordering(
+    environment, distance, trials, seed, rnd
+):
+    """The corpus address must depend on manifest *content*, not on the
+    dict insertion order JSON happened to preserve."""
+    spec = TrialSpec(
+        environment=environment,
+        distance_m=distance,
+        n_trials=trials,
+        seed=seed,
+    )
+    manifest = spec_to_manifest(spec)
+    assert manifest is not None
+    items = list(manifest.items())
+    rnd.shuffle(items)
+    shuffled = dict(items)
+    assert spec_from_manifest(shuffled).fingerprint() == spec.fingerprint()
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=128),
+)
+@settings(max_examples=25, deadline=None)
+def test_truncated_payload_always_fails_closed(tmp_path_factory, keep, size):
+    """Chopping a payload anywhere must raise the structured integrity
+    error — never a silent miss, never a successful read of junk."""
+    corpus = CaptureCorpus(tmp_path_factory.mktemp("prop"))
+    fingerprint = "e" * 32
+    corpus.write_entry(
+        fingerprint, {"kind": "raw"}, {"x": np.arange(size, dtype=np.int16)}
+    )
+    payload_path = corpus._payload_path(fingerprint)
+    payload = payload_path.read_bytes()
+    assume(keep < len(payload))
+    payload_path.write_bytes(payload[:keep])
+    with pytest.raises(CorpusIntegrityError) as excinfo:
+        corpus.read_arrays(fingerprint)
+    assert excinfo.value.fingerprint == fingerprint

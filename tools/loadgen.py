@@ -118,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 disables)",
     )
     parser.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="derive the request mix from a capture corpus: one session "
+        "identity per servable recorded cell, so the server re-computes "
+        "the very trials the corpus holds (overrides --sessions/"
+        "--environment/--distance/--seed; see docs/corpus.md)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -134,6 +143,11 @@ def main(argv: list[str] | None = None) -> int:
             attempts=args.retries + 1,
             attempt_timeout_s=args.attempt_timeout,
         )
+    mix = None
+    if args.corpus is not None:
+        from repro.service.loadgen import request_mix_from_corpus
+
+        mix = request_mix_from_corpus(args.corpus, rounds=args.rounds)
     report = asyncio.run(
         run_loadgen(
             args.host,
@@ -152,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
             connections=args.connections,
             deadline_ms=args.deadline_ms,
             retry=retry,
+            mix=mix,
         )
     )
     payload = report.to_json()
