@@ -287,6 +287,55 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="list, validate, and run declarative scenario documents",
+        description=(
+            "Declarative scenarios (repro.scenarios): device-fleet "
+            "worlds described as TOML/JSON documents and compiled into "
+            "trial plans.  The builtin library includes the paper's "
+            "four scenes (compiled byte-identical to `repro run fig1` / "
+            "`fig2a`) plus workloads beyond the paper — continuous "
+            "re-auth, hidden-command attacks, multi-device homes.  "
+            "See docs/scenarios.md."
+        ),
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_sub.add_parser(
+        "list", help="list builtin scenarios and their compiled shape"
+    )
+    validate_parser = scenario_sub.add_parser(
+        "validate",
+        help="validate + compile scenario documents without running them",
+    )
+    validate_parser.add_argument(
+        "scenarios",
+        nargs="+",
+        metavar="SCENARIO",
+        help="builtin scenario names or paths to .toml/.json documents",
+    )
+    scenario_run_parser = scenario_sub.add_parser(
+        "run", help="compile one scenario and run its trial plan"
+    )
+    scenario_run_parser.add_argument(
+        "scenario",
+        metavar="SCENARIO",
+        help="builtin scenario name or path to a .toml/.json document",
+    )
+    scenario_run_parser.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=None,
+        help="override trials per cell (default: the document's)",
+    )
+    scenario_run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the document's root seed",
+    )
+    _add_engine_options(scenario_run_parser)
+
     serve_parser = sub.add_parser(
         "serve",
         help="serve streaming authentication requests over TCP",
@@ -578,6 +627,90 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scenario(text: str):
+    """A builtin scenario name, else a document path."""
+    from repro.scenarios import BUILTIN_SCENARIOS, load_scenario
+
+    if text in BUILTIN_SCENARIOS:
+        return BUILTIN_SCENARIOS[text]
+    return load_scenario(text)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        BUILTIN_SCENARIOS,
+        ScenarioError,
+        compile_scenario,
+    )
+
+    if args.scenario_command == "list":
+        print(f"{'scenario':22s}  {'cells':>5s}  {'trials':>6s}  description")
+        print("-" * 78)
+        for name, doc in BUILTIN_SCENARIOS.items():
+            compiled = compile_scenario(doc)
+            print(
+                f"{name:22s}  {len(compiled.plan):5d}  "
+                f"{compiled.plan.total_trials:6d}  {doc.description}"
+            )
+        return 0
+
+    if args.scenario_command == "validate":
+        status = 0
+        for text in args.scenarios:
+            try:
+                compiled = compile_scenario(_resolve_scenario(text))
+            except ScenarioError as error:
+                print(f"{text}: INVALID — {error}")
+                status = 1
+                continue
+            servable = sum(cell.servable for cell in compiled.cells)
+            print(
+                f"{text}: ok — {len(compiled.plan)} cells, "
+                f"{compiled.plan.total_trials} trials, "
+                f"{servable} servable"
+            )
+        return status
+
+    # scenario run
+    try:
+        doc = _resolve_scenario(args.scenario)
+        compiled = compile_scenario(doc, trials=args.trials, seed=args.seed)
+    except ScenarioError as error:
+        raise SystemExit(f"scenario: {error}") from None
+    start = time.time()
+    with use_engine(_build_engine(args)) as engine:
+        try:
+            results = engine.run_plan(compiled.plan)
+        finally:
+            engine.close()
+        counters = engine.counters
+    print(f"scenario {doc.name}: {doc.description}")
+    print(
+        f"{'cell':28s}  {'d (m)':>6s}  {'hour':>5s}  {'noise':>5s}  "
+        f"{'mean |err| (cm)':>15s}  {'std (cm)':>8s}  {'not-present':>11s}"
+    )
+    print("-" * 92)
+    for cell, meta in zip(results, compiled.cells):
+        hour = "-" if meta.hour is None else f"{meta.hour:04.1f}"
+        if cell.stats.n:
+            mean = f"{cell.stats.mean_abs_cm():.1f}"
+            std = f"{cell.stats.std_cm():.1f}"
+        else:
+            mean = std = "-"
+        print(
+            f"{meta.key:28s}  {meta.distance_m:6.2f}  {hour:>5s}  "
+            f"{meta.noise_scale:5.2f}  {mean:>15s}  {std:>8s}  "
+            f"{cell.stats.not_present:5d}/{cell.stats.trials}"
+        )
+    summary = format_throughput(
+        counters.trials_executed,
+        time.time() - start,
+        cached_trials=counters.trials_cached,
+    )
+    print(f"\n[{doc.name} completed: {summary}]")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the streaming authentication service until interrupted.
 
@@ -688,6 +821,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_capture(args)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
         if args.command == "run":
             with use_engine(_build_engine(args)) as engine:
                 try:

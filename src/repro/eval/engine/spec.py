@@ -257,3 +257,15 @@ class TrialPlan:
 
     def __len__(self) -> int:
         return len(self.specs)
+
+    @classmethod
+    def merge(cls, name: str, plans: Sequence["TrialPlan"]) -> "TrialPlan":
+        """Concatenate several plans into one, preserving cell order.
+
+        Used to schedule related workloads (e.g. the four per-environment
+        paper scenarios) as a single engine pass — the engine already
+        dedupes identical cells, so merging never recomputes.
+        """
+        return cls(
+            name, [spec for plan in plans for spec in plan.specs]
+        )

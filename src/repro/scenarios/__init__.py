@@ -1,0 +1,63 @@
+"""Declarative scenarios: device-fleet worlds compiled into trial plans.
+
+``repro.scenarios`` turns evaluation workloads into *documents*: a
+:class:`ScenarioDoc` describes a room, a device fleet, a walker script,
+time-of-day noise, re-auth cadence, and attacker scripts as pure frozen
+data (loadable from TOML/JSON), and :func:`compile_scenario` lowers it
+into the :class:`~repro.eval.engine.TrialPlan` the trial engine runs —
+plus a request mix the serving tier can replay as live traffic.
+
+The paper's four scenes are themselves builtin scenarios
+(:data:`BUILTIN_SCENARIOS`) whose compiled plans are fingerprint-
+identical to the hand-built experiments; see ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.compiler import (
+    CompiledCell,
+    CompiledScenario,
+    compile_scenario,
+)
+from repro.scenarios.document import (
+    AttackerScript,
+    FleetDevice,
+    NoiseBand,
+    ScenarioDoc,
+    ScenarioError,
+    SessionScript,
+    WalkStation,
+    WallSpec,
+    load_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.scenarios.interference import (
+    ConcurrentSessionInterference,
+    ScriptedAttacker,
+)
+from repro.scenarios.library import (
+    BUILTIN_SCENARIOS,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "AttackerScript",
+    "BUILTIN_SCENARIOS",
+    "CompiledCell",
+    "CompiledScenario",
+    "ConcurrentSessionInterference",
+    "FleetDevice",
+    "NoiseBand",
+    "ScenarioDoc",
+    "ScenarioError",
+    "ScriptedAttacker",
+    "SessionScript",
+    "WalkStation",
+    "WallSpec",
+    "compile_scenario",
+    "get_scenario",
+    "load_scenario",
+    "scenario_from_dict",
+    "scenario_names",
+    "scenario_to_dict",
+]

@@ -1,0 +1,517 @@
+"""The scenario language: frozen documents describing device-fleet worlds.
+
+A :class:`ScenarioDoc` is a declarative description of an evaluation
+world — a room, a fleet of devices, a walker script for the prover, an
+optional attacker script, a re-authentication cadence, and a
+time-of-day noise profile.  Documents are pure data (nested frozen
+dataclasses of floats, strings, and tuples), so they can be
+
+* **loaded** from TOML or JSON files (:func:`load_scenario`,
+  :func:`scenario_from_dict`) and round-tripped back
+  (:func:`scenario_to_dict`);
+* **validated** structurally at construction time — every constraint
+  violation raises :class:`ScenarioError` naming the offending field;
+* **compiled** deterministically into a
+  :class:`~repro.eval.engine.TrialPlan`
+  (:func:`repro.scenarios.compile_scenario`) — the document *is* the
+  workload's content address.
+
+The shape follows the config-to-pipeline compilation pattern of
+Acconeer's declarative algo configs: documents carry only intent (who
+stands where, when, under what noise), and the compiler owns the
+lowering into executable trial specs.
+
+See ``docs/scenarios.md`` for the full language reference.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+__all__ = [
+    "ScenarioError",
+    "FleetDevice",
+    "WallSpec",
+    "WalkStation",
+    "NoiseBand",
+    "AttackerScript",
+    "SessionScript",
+    "ScenarioDoc",
+    "load_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+]
+
+#: Roles a fleet device can take.  Exactly one ``prover`` (the user's
+#: vouching device) and at least one ``verifier`` (an authenticating
+#: IoT device) are required; ``source`` devices are pure acoustic
+#: sources available to attacker scripts.
+DEVICE_ROLES = ("verifier", "prover", "source")
+
+
+class ScenarioError(ValueError):
+    """A scenario document failed validation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One device of the scenario's fleet, at a fixed world position."""
+
+    name: str
+    x: float
+    y: float
+    role: str = "verifier"
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "fleet device needs a non-empty name")
+        _require(
+            self.role in DEVICE_ROLES,
+            f"fleet[{self.name}].role must be one of {DEVICE_ROLES}, "
+            f"got {self.role!r}",
+        )
+
+
+@dataclass(frozen=True)
+class WallSpec:
+    """A wall segment of the scenario's floor plan (world coordinates)."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    attenuation_db: float = 30.0
+
+    def __post_init__(self) -> None:
+        _require(
+            (self.x1, self.y1) != (self.x2, self.y2),
+            "wall endpoints must differ",
+        )
+        _require(
+            self.attenuation_db > 0,
+            f"wall attenuation_db must be > 0, got {self.attenuation_db!r}",
+        )
+
+
+@dataclass(frozen=True)
+class WalkStation:
+    """One stop of the prover's walk: a position held for some sessions."""
+
+    x: float
+    y: float
+    hold: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.hold >= 1, f"walk station hold must be >= 1, got {self.hold!r}")
+
+
+@dataclass(frozen=True)
+class NoiseBand:
+    """A time-of-day band scaling the environment's background noise.
+
+    Hours are on a 24 h clock; a band covers ``start_hour <= h <
+    end_hour``.  Hours outside every band keep the preset noise
+    (scale 1.0).  Overlapping bands resolve to the first match in
+    document order.
+    """
+
+    start_hour: float
+    end_hour: float
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 <= self.start_hour < self.end_hour <= 24.0,
+            f"noise band hours must satisfy 0 <= start < end <= 24, got "
+            f"({self.start_hour!r}, {self.end_hour!r})",
+        )
+        _require(self.scale > 0, f"noise band scale must be > 0, got {self.scale!r}")
+
+    def covers(self, hour: float) -> bool:
+        return self.start_hour <= hour < self.end_hour
+
+
+@dataclass(frozen=True)
+class AttackerScript:
+    """An acoustic attacker playing from a ``source`` fleet device.
+
+    Models remote / hidden-command injection (arXiv:1712.03327): during
+    every ranging round the attacker plays ``bursts`` freshly randomized
+    reference-signal guesses (the candidate set F_R is public, the
+    session's sampled subsets are not — §V) from the named device's
+    position, at ``gain`` × the legitimate reference level.
+    """
+
+    device: str
+    bursts: int = 2
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.device), "attacker.device must name a fleet device")
+        _require(self.bursts >= 1, f"attacker.bursts must be >= 1, got {self.bursts!r}")
+        _require(self.gain > 0, f"attacker.gain must be > 0, got {self.gain!r}")
+
+
+@dataclass(frozen=True)
+class SessionScript:
+    """When authentications happen and how many rounds each one runs.
+
+    ``cadence_s == 0`` describes an *untimed* scene: the walk stations
+    (or the prover's fixed fleet position) form a plain measurement
+    grid, exactly like the paper's tables.  ``cadence_s > 0`` describes
+    a *timed* deployment — continuous / periodic re-authentication in
+    the sense of Feng et al. (arXiv:1701.04507): ``sessions`` epochs
+    fire one authentication each, ``cadence_s`` apart, starting at
+    ``start_hour``, and every epoch gets its own seed-derived world.
+    """
+
+    cadence_s: float = 0.0
+    sessions: int = 1
+    start_hour: float = 9.0
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.cadence_s >= 0, f"session.cadence_s must be >= 0, got {self.cadence_s!r}")
+        _require(self.sessions >= 1, f"session.sessions must be >= 1, got {self.sessions!r}")
+        _require(
+            0.0 <= self.start_hour < 24.0,
+            f"session.start_hour must be in [0, 24), got {self.start_hour!r}",
+        )
+        _require(self.rounds >= 1, f"session.rounds must be >= 1, got {self.rounds!r}")
+
+    @property
+    def timed(self) -> bool:
+        return self.cadence_s > 0
+
+
+@dataclass(frozen=True)
+class ScenarioDoc:
+    """One declarative scenario: a world plus the trials to run in it.
+
+    Attributes
+    ----------
+    name:
+        Identifier (also the default cell-key prefix and the seed
+        namespace of timed epochs).
+    description:
+        One-line human description, shown by ``repro scenario list``.
+    environment:
+        Acoustic environment preset name
+        (:data:`repro.acoustics.environment.ENVIRONMENTS`).
+    fleet:
+        The device fleet — exactly one ``prover``, one or more
+        ``verifier``\\ s, any number of ``source`` devices.
+    walk:
+        The prover's walker script.  Empty → the prover stays at its
+        fleet position.
+    walls:
+        Floor plan; compiled into each pair's frame.
+    noise:
+        Time-of-day noise profile (timed scenes only).
+    session:
+        Re-authentication cadence and rounds per authentication.
+    attacker:
+        Optional attacker script (see :class:`AttackerScript`).
+    concurrent_pairs:
+        Additional roaming PIANO pairs sharing the space — the Fig. 2(a)
+        interference model
+        (:class:`repro.eval.trials.ConcurrentUsersInterference`).
+    concurrent_verifiers:
+        Multi-device homes: every cell's *other* verifiers run their own
+        concurrent sessions against the shared prover.
+    trials:
+        Independent trials per compiled cell.
+    seed:
+        Root seed; untimed cells use it directly (paper parity), timed
+        epochs derive per-epoch seeds from it.
+    key_prefix:
+        Cell-key prefix override (defaults to ``name``).
+    """
+
+    name: str
+    description: str = ""
+    environment: str = "office"
+    fleet: tuple[FleetDevice, ...] = ()
+    walk: tuple[WalkStation, ...] = ()
+    walls: tuple[WallSpec, ...] = ()
+    noise: tuple[NoiseBand, ...] = ()
+    session: SessionScript = field(default_factory=SessionScript)
+    attacker: AttackerScript | None = None
+    concurrent_pairs: int = 0
+    concurrent_verifiers: bool = False
+    trials: int = 10
+    seed: int = 0
+    key_prefix: str = ""
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "scenario needs a non-empty name")
+        _require(self.trials >= 1, f"trials must be >= 1, got {self.trials!r}")
+        _require(
+            self.concurrent_pairs >= 0,
+            f"concurrent_pairs must be >= 0, got {self.concurrent_pairs!r}",
+        )
+        names = [device.name for device in self.fleet]
+        _require(
+            len(names) == len(set(names)),
+            f"fleet device names must be unique, got {names}",
+        )
+        _require(
+            len(self.provers) == 1,
+            f"scenario needs exactly one prover device, got {len(self.provers)}",
+        )
+        _require(
+            len(self.verifiers) >= 1,
+            "scenario needs at least one verifier device",
+        )
+        if self.attacker is not None:
+            by_name = {device.name: device for device in self.fleet}
+            _require(
+                self.attacker.device in by_name,
+                f"attacker.device {self.attacker.device!r} is not in the fleet",
+            )
+            _require(
+                by_name[self.attacker.device].role == "source",
+                f"attacker.device {self.attacker.device!r} must have role "
+                "'source'",
+            )
+        _require(
+            not (self.noise and not self.session.timed),
+            "a noise profile needs a timed session script (cadence_s > 0)",
+        )
+        _require(
+            not (self.concurrent_verifiers and len(self.verifiers) < 2),
+            "concurrent_verifiers needs at least two verifiers",
+        )
+        # The environment preset must exist.  Imported lazily: the
+        # document layer stays importable without the acoustics stack.
+        from repro.acoustics.environment import get_environment
+
+        try:
+            get_environment(self.environment)
+        except KeyError as error:
+            raise ScenarioError(str(error)) from None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def provers(self) -> tuple[FleetDevice, ...]:
+        return tuple(d for d in self.fleet if d.role == "prover")
+
+    @property
+    def verifiers(self) -> tuple[FleetDevice, ...]:
+        return tuple(d for d in self.fleet if d.role == "verifier")
+
+    @property
+    def prover(self) -> FleetDevice:
+        return self.provers[0]
+
+    @property
+    def prefix(self) -> str:
+        return self.key_prefix or self.name
+
+    def noise_scale_at(self, hour: float) -> float:
+        """The noise scale in effect at ``hour`` (1.0 outside all bands)."""
+        for band in self.noise:
+            if band.covers(hour % 24.0):
+                return band.scale
+        return 1.0
+
+
+# ----------------------------------------------------------------------
+# Serialization: dict <-> document, TOML/JSON files -> document
+# ----------------------------------------------------------------------
+
+_POSITION_KEY = "position"
+
+
+def _device_from_dict(data: dict, where: str) -> FleetDevice:
+    data = dict(data)
+    position = data.pop(_POSITION_KEY, None)
+    _require(
+        isinstance(position, (list, tuple)) and len(position) == 2,
+        f"{where}: 'position' must be a [x, y] pair, got {position!r}",
+    )
+    return _build(
+        FleetDevice,
+        {**data, "x": float(position[0]), "y": float(position[1])},
+        where,
+    )
+
+
+def _wall_from_dict(data: dict, where: str) -> WallSpec:
+    data = dict(data)
+    start = data.pop("from", None)
+    end = data.pop("to", None)
+    for label, value in (("from", start), ("to", end)):
+        _require(
+            isinstance(value, (list, tuple)) and len(value) == 2,
+            f"{where}: '{label}' must be a [x, y] pair, got {value!r}",
+        )
+    return _build(
+        WallSpec,
+        {
+            **data,
+            "x1": float(start[0]),
+            "y1": float(start[1]),
+            "x2": float(end[0]),
+            "y2": float(end[1]),
+        },
+        where,
+    )
+
+
+def _station_from_dict(data: dict, where: str) -> WalkStation:
+    data = dict(data)
+    position = data.pop(_POSITION_KEY, None)
+    _require(
+        isinstance(position, (list, tuple)) and len(position) == 2,
+        f"{where}: 'position' must be a [x, y] pair, got {position!r}",
+    )
+    return _build(
+        WalkStation,
+        {**data, "x": float(position[0]), "y": float(position[1])},
+        where,
+    )
+
+
+def _build(cls, data: dict, where: str):
+    """Construct a dataclass from a dict, rejecting unknown keys."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    _require(
+        not unknown,
+        f"{where}: unknown key(s) {sorted(unknown)} (known: {sorted(known)})",
+    )
+    try:
+        return cls(**data)
+    except TypeError as error:
+        raise ScenarioError(f"{where}: {error}") from None
+
+
+def scenario_from_dict(data: dict) -> ScenarioDoc:
+    """Build a validated :class:`ScenarioDoc` from plain JSON/TOML types."""
+    _require(isinstance(data, dict), f"scenario document must be a table, got {type(data).__name__}")
+    data = dict(data)
+    fleet = tuple(
+        _device_from_dict(item, f"fleet[{i}]")
+        for i, item in enumerate(data.pop("fleet", []))
+    )
+    walk = tuple(
+        _station_from_dict(item, f"walk[{i}]")
+        for i, item in enumerate(data.pop("walk", []))
+    )
+    walls = tuple(
+        _wall_from_dict(item, f"walls[{i}]")
+        for i, item in enumerate(data.pop("walls", []))
+    )
+    noise = tuple(
+        _build(NoiseBand, item, f"noise[{i}]")
+        for i, item in enumerate(data.pop("noise", []))
+    )
+    session = _build(SessionScript, data.pop("session", {}), "session")
+    attacker = data.pop("attacker", None)
+    if attacker is not None:
+        attacker = _build(AttackerScript, attacker, "attacker")
+    return _build(
+        ScenarioDoc,
+        {
+            **data,
+            "fleet": fleet,
+            "walk": walk,
+            "walls": walls,
+            "noise": noise,
+            "session": session,
+            "attacker": attacker,
+        },
+        "scenario",
+    )
+
+
+def scenario_to_dict(doc: ScenarioDoc) -> dict:
+    """The document as plain JSON types (inverse of :func:`scenario_from_dict`)."""
+    data: dict = {
+        "name": doc.name,
+        "description": doc.description,
+        "environment": doc.environment,
+        "trials": doc.trials,
+        "seed": doc.seed,
+        "fleet": [
+            {"name": d.name, "role": d.role, "position": [d.x, d.y]}
+            for d in doc.fleet
+        ],
+    }
+    if doc.walk:
+        data["walk"] = [
+            {"position": [s.x, s.y], "hold": s.hold} for s in doc.walk
+        ]
+    if doc.walls:
+        data["walls"] = [
+            {
+                "from": [w.x1, w.y1],
+                "to": [w.x2, w.y2],
+                "attenuation_db": w.attenuation_db,
+            }
+            for w in doc.walls
+        ]
+    if doc.noise:
+        data["noise"] = [
+            {
+                "start_hour": b.start_hour,
+                "end_hour": b.end_hour,
+                "scale": b.scale,
+            }
+            for b in doc.noise
+        ]
+    data["session"] = {
+        "cadence_s": doc.session.cadence_s,
+        "sessions": doc.session.sessions,
+        "start_hour": doc.session.start_hour,
+        "rounds": doc.session.rounds,
+    }
+    if doc.attacker is not None:
+        data["attacker"] = {
+            "device": doc.attacker.device,
+            "bursts": doc.attacker.bursts,
+            "gain": doc.attacker.gain,
+        }
+    if doc.concurrent_pairs:
+        data["concurrent_pairs"] = doc.concurrent_pairs
+    if doc.concurrent_verifiers:
+        data["concurrent_verifiers"] = doc.concurrent_verifiers
+    if doc.key_prefix:
+        data["key_prefix"] = doc.key_prefix
+    return data
+
+
+def load_scenario(path: str | Path) -> ScenarioDoc:
+    """Load a scenario document from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise ScenarioError(f"cannot read scenario file {path}: {error}") from None
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except tomllib.TOMLDecodeError as error:
+            raise ScenarioError(f"{path}: invalid TOML: {error}") from None
+    elif suffix == ".json":
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"{path}: invalid JSON: {error}") from None
+    else:
+        raise ScenarioError(
+            f"{path}: unsupported scenario format {suffix!r} "
+            "(use .toml or .json)"
+        )
+    return scenario_from_dict(data)

@@ -1,0 +1,131 @@
+"""Interference factories the scenario compiler lowers scripts into.
+
+Like :class:`repro.eval.trials.ConcurrentUsersInterference`, these are
+frozen module-level dataclasses with tuple fields, so specs carrying
+them pickle cleanly to pool workers and fingerprint by content
+(:func:`repro.eval.engine.fingerprint_value`) — two scenarios that lower
+to the same interference share measurement-cache entries.
+
+All positions are in the *pair frame*: the verifier at the origin, the
+prover at ``(distance, 0)`` — the frame
+:func:`repro.eval.engine.build_pair_world` builds worlds in.  The
+compiler transforms world coordinates into this frame per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.mixer import PlaybackEvent
+from repro.core.signal_construction import construct_reference_signal
+from repro.dsp.quantize import quantize_pcm16
+from repro.sim.geometry import Point
+from repro.sim.world import AcousticWorld
+
+__all__ = ["ScriptedAttacker", "ConcurrentSessionInterference"]
+
+
+@dataclass(frozen=True)
+class ScriptedAttacker:
+    """A remote / hidden-command attacker at a fixed position.
+
+    Models the arXiv:1712.03327 threat: a compromised acoustic source
+    (TV, smart speaker) that can issue voice commands but does not hold
+    the session's sampled reference subsets — the candidate set F_R is
+    public, the per-round draw is not (§V of the paper).  Every round it
+    plays ``bursts`` freshly randomized reference-signal *guesses* at
+    random times inside the session's acoustic window, at ``gain`` × the
+    legitimate radiated level.  Unless a guess happens to collide with
+    the session's own draw at the right time, ranging sees no prover
+    signal at the claimed distance and the session ends in ⊥ (deny).
+    """
+
+    position: tuple[float, float]
+    bursts: int = 2
+    gain: float = 1.0
+
+    def __call__(self, world: AcousticWorld, rng: np.random.Generator):
+        config = world.config
+        device = world.add_device("attacker-source", Point(*self.position))
+        bursts = self.bursts
+        gain = self.gain
+
+        def provider(window_start: float, window_end: float, prng):
+            events = []
+            for burst in range(bursts):
+                reference = construct_reference_signal(config, prng)
+                waveform = quantize_pcm16(
+                    gain * device.speaker.radiate(reference.samples)
+                )
+                start = prng.uniform(window_start, window_end)
+                events.append(
+                    PlaybackEvent(
+                        device=device,
+                        waveform=waveform,
+                        world_start=float(start),
+                        label=f"attacker-burst-{burst}",
+                    )
+                )
+            return events
+
+        return [provider]
+
+
+@dataclass(frozen=True)
+class ConcurrentSessionInterference:
+    """Concurrent PIANO sessions at *fixed* pair-frame positions.
+
+    The multi-device-home counterpart of
+    :class:`~repro.eval.trials.ConcurrentUsersInterference`: instead of
+    random roaming pairs, each entry of ``pairs`` is a
+    ``((verifier_xy), (prover_xy))`` pair of known device positions —
+    the home's *other* verifiers ranging the same prover while this
+    cell's pair runs.  Each concurrent pair plays one session: two
+    reference signals at the protocol's play offsets, with the session
+    start drawn over a window ``window_slack_s`` wider than ours
+    (devices authenticate at close times, not in lockstep).
+    """
+
+    pairs: tuple[tuple[tuple[float, float], tuple[float, float]], ...]
+    offsets: tuple[float, float] = (0.2, 0.65)
+    window_slack_s: float = 2.0
+
+    def __call__(self, world: AcousticWorld, rng: np.random.Generator):
+        config = world.config
+        members = []
+        for index, (verifier_xy, prover_xy) in enumerate(self.pairs):
+            members.append(
+                (
+                    world.add_device(
+                        f"concurrent-verifier-{index}", Point(*verifier_xy)
+                    ),
+                    world.add_device(
+                        f"concurrent-prover-{index}", Point(*prover_xy)
+                    ),
+                )
+            )
+        offsets = self.offsets
+        slack = self.window_slack_s
+
+        def provider(window_start: float, window_end: float, prng):
+            events = []
+            for index, pair_devices in enumerate(members):
+                session_start = prng.uniform(window_start - slack, window_end)
+                for device, offset in zip(pair_devices, offsets):
+                    reference = construct_reference_signal(config, prng)
+                    waveform = quantize_pcm16(
+                        device.speaker.radiate(reference.samples)
+                    )
+                    events.append(
+                        PlaybackEvent(
+                            device=device,
+                            waveform=waveform,
+                            world_start=float(session_start + offset),
+                            label=f"concurrent-session-{index}-{device.name}",
+                        )
+                    )
+            return events
+
+        return [provider]

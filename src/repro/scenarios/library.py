@@ -1,0 +1,181 @@
+"""Builtin scenario library.
+
+The paper's scenes *are* scenarios here: ``paper-office`` …
+``paper-restaurant`` concatenate to exactly the Fig. 1 plan and
+``paper-multiuser`` to the Fig. 2(a) plan (fingerprint-pinned in
+``tests/test_scenario_dsl.py``).  Alongside them, the first workloads
+beyond the paper:
+
+``home-reauth``
+    Continuous re-authentication (Feng et al., arXiv:1701.04507): a hub
+    verifier re-ranges the walking prover every 90 minutes across a day,
+    crossing into an evening noise band.
+``home-hidden-command``
+    Remote / hidden-command attack (arXiv:1712.03327): the prover is
+    away behind a wall while a compromised TV plays reference-signal
+    guesses next to the verifier — the expected outcome is ⊥ (deny).
+``home-multi-device``
+    A multi-device home: three verifiers each range the one prover
+    while the *other* verifiers run their own concurrent sessions.
+
+Documents, not code: every entry is data a user could equally have
+written as TOML (see ``examples/scenarios/``).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.document import (
+    AttackerScript,
+    FleetDevice,
+    NoiseBand,
+    ScenarioDoc,
+    ScenarioError,
+    SessionScript,
+    WalkStation,
+    WallSpec,
+)
+
+__all__ = ["BUILTIN_SCENARIOS", "get_scenario", "scenario_names"]
+
+#: The Fig. 1 / Fig. 2(a) measurement grid: the prover walks the four
+#: paper distances along the axis in front of the verifier.
+_PAPER_WALK = (
+    WalkStation(0.5, 0.0),
+    WalkStation(1.0, 0.0),
+    WalkStation(1.5, 0.0),
+    WalkStation(2.0, 0.0),
+)
+
+
+def _paper_scene(environment: str, description: str) -> ScenarioDoc:
+    return ScenarioDoc(
+        name=f"paper-{environment}",
+        description=description,
+        environment=environment,
+        fleet=(
+            FleetDevice("verifier", 0.0, 0.0, role="verifier"),
+            FleetDevice("prover", 0.5, 0.0, role="prover"),
+        ),
+        walk=_PAPER_WALK,
+        trials=10,
+        seed=0,
+        key_prefix=environment,
+    )
+
+
+_PAPER_SCENES = tuple(
+    _paper_scene(environment, description)
+    for environment, description in (
+        ("office", "Fig. 1(a): shared office, 0.5-2.0 m"),
+        ("home", "Fig. 1(b): living room, 0.5-2.0 m"),
+        ("street", "Fig. 1(c): sidewalk, 0.5-2.0 m"),
+        ("restaurant", "Fig. 1(d): restaurant, 0.5-2.0 m"),
+    )
+)
+
+_PAPER_MULTIUSER = ScenarioDoc(
+    name="paper-multiuser",
+    description="Fig. 2(a): office with 2 extra concurrent PIANO pairs",
+    environment="office",
+    fleet=(
+        FleetDevice("verifier", 0.0, 0.0, role="verifier"),
+        FleetDevice("prover", 0.5, 0.0, role="prover"),
+    ),
+    walk=_PAPER_WALK,
+    concurrent_pairs=2,
+    trials=10,
+    seed=0,
+    key_prefix="multiuser",
+)
+
+_HOME_REAUTH = ScenarioDoc(
+    name="home-reauth",
+    description=(
+        "continuous re-auth: hub re-ranges the walking prover every "
+        "90 min across a day, into the evening noise band"
+    ),
+    environment="home",
+    fleet=(
+        FleetDevice("hub", 0.0, 0.0, role="verifier"),
+        FleetDevice("phone", 1.0, 0.0, role="prover"),
+    ),
+    walk=(
+        WalkStation(1.0, 0.0, hold=4),  # desk, through the morning
+        WalkStation(3.0, 1.0, hold=2),  # kitchen
+        WalkStation(2.0, -1.5, hold=2),  # couch, into the evening
+    ),
+    noise=(
+        # TV-and-dinner evening: noticeably noisier than the preset.
+        NoiseBand(start_hour=18.0, end_hour=23.0, scale=1.4),
+    ),
+    session=SessionScript(cadence_s=5400.0, start_hour=8.0),
+    trials=4,
+    seed=0,
+)
+
+_HOME_HIDDEN_COMMAND = ScenarioDoc(
+    name="home-hidden-command",
+    description=(
+        "hidden-command attack: prover away behind a wall, compromised "
+        "TV plays reference guesses at the verifier (expected: deny)"
+    ),
+    environment="home",
+    fleet=(
+        FleetDevice("speaker", 0.0, 0.0, role="verifier"),
+        FleetDevice("phone", 6.0, 0.0, role="prover"),
+        FleetDevice("tv", 1.5, 0.5, role="source"),
+    ),
+    walls=(
+        # Interior wall between the living room and the hallway the
+        # prover left through.
+        WallSpec(4.0, -5.0, 4.0, 5.0),
+    ),
+    attacker=AttackerScript(device="tv", bursts=2, gain=1.0),
+    trials=6,
+    seed=0,
+)
+
+_HOME_MULTI_DEVICE = ScenarioDoc(
+    name="home-multi-device",
+    description=(
+        "multi-device home: three verifiers range one prover while the "
+        "other verifiers run concurrent sessions"
+    ),
+    environment="home",
+    fleet=(
+        FleetDevice("speaker", 0.0, 0.0, role="verifier"),
+        FleetDevice("thermostat", 3.0, 0.0, role="verifier"),
+        FleetDevice("tv", 0.0, 3.0, role="verifier"),
+        FleetDevice("phone", 1.0, 0.5, role="prover"),
+    ),
+    concurrent_verifiers=True,
+    trials=6,
+    seed=0,
+)
+
+BUILTIN_SCENARIOS: dict[str, ScenarioDoc] = {
+    doc.name: doc
+    for doc in (
+        *_PAPER_SCENES,
+        _PAPER_MULTIUSER,
+        _HOME_REAUTH,
+        _HOME_HIDDEN_COMMAND,
+        _HOME_MULTI_DEVICE,
+    )
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Builtin scenario names, in library order."""
+    return tuple(BUILTIN_SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioDoc:
+    """Look up a builtin scenario by name."""
+    try:
+        return BUILTIN_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(BUILTIN_SCENARIOS)
+        raise ScenarioError(
+            f"unknown scenario {name!r}; builtin scenarios: {known}"
+        ) from None

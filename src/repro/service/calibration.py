@@ -38,13 +38,28 @@ def robust_sigma(errors) -> float:
 
     The same estimator the evaluation stack pools per cell
     (``repro.eval.stats.ErrorStats.robust_std_cm``), in meters.
+
+    The MAD of a sample whose *majority* is one repeated value is 0 —
+    common in served windows, where quantized estimates at one distance
+    repeat exactly — which would discard the spread the minority carries
+    (e.g. ``[0.02]*4 + [0.05]``).  When that happens the sample standard
+    deviation answers instead, so the estimate is 0 only for genuinely
+    zero-spread windows (which :meth:`CalibrationStore.sigma` then
+    routes to the paper prior — the Gaussian model needs σ > 0).
     """
     values = sorted(float(e) for e in errors)
     if not values:
         raise ValueError("need at least one error sample")
     median = _median(values)
     deviations = sorted(abs(v - median) for v in values)
-    return 1.4826 * _median(deviations)
+    mad = _median(deviations)
+    if mad > 0.0:
+        return 1.4826 * mad
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(variance)
 
 
 def _median(ordered: list[float]) -> float:

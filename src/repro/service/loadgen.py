@@ -33,6 +33,7 @@ worker count.
 from __future__ import annotations
 
 import asyncio
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -44,6 +45,7 @@ __all__ = [
     "RequestCycler",
     "RequestSample",
     "request_mix_from_corpus",
+    "request_mix_from_scenario",
     "run_loadgen",
 ]
 
@@ -248,12 +250,56 @@ def request_mix_from_corpus(
     return mix
 
 
+def request_mix_from_scenario(
+    scenario, rounds: int | None = None
+) -> list[dict]:
+    """A request mix serving a compiled scenario's cells as live traffic.
+
+    ``scenario`` is a :class:`repro.scenarios.CompiledScenario`, a
+    :class:`repro.scenarios.ScenarioDoc`, a builtin scenario name, or a
+    path to a scenario document file.  Only the scenario's *servable*
+    cells (preset environment, no walls or interference — see
+    :class:`repro.scenarios.CompiledCell`) become mix items; raises if
+    the scenario has none.  ``rounds`` caps rounds per request (default:
+    each cell's trial count).
+    """
+    from repro.scenarios import (
+        BUILTIN_SCENARIOS,
+        CompiledScenario,
+        ScenarioDoc,
+        compile_scenario,
+        load_scenario,
+    )
+
+    if isinstance(scenario, str):
+        if scenario in BUILTIN_SCENARIOS:
+            scenario = BUILTIN_SCENARIOS[scenario]
+        else:
+            scenario = load_scenario(scenario)
+    if isinstance(scenario, ScenarioDoc):
+        scenario = compile_scenario(scenario)
+    if not isinstance(scenario, CompiledScenario):
+        raise TypeError(
+            "scenario must be a CompiledScenario, ScenarioDoc, builtin "
+            f"name, or document path, got {type(scenario).__name__}"
+        )
+    return scenario.request_mix(rounds=rounds)
+
+
 def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile over pre-sorted values."""
+    """Nearest-rank percentile over pre-sorted values.
+
+    True nearest-rank: the smallest value with at least ``fraction`` of
+    the sample at or below it — ``sorted_values[ceil(fraction · n) − 1]``.
+    (The earlier ``round(fraction · (n − 1))`` drifted on .5 ties under
+    banker's rounding: p50 of 4 samples rounded 1.5 *down* to index 2's
+    neighbor, overstating small-sample medians.)
+    """
     if not sorted_values:
         return 0.0
-    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[rank]
+    rank = math.ceil(fraction * len(sorted_values))
+    rank = max(1, min(len(sorted_values), rank))
+    return sorted_values[rank - 1]
 
 
 def summarize(

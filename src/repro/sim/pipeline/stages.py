@@ -103,6 +103,9 @@ __all__ = [
 #: An interference provider receives the acoustic window of the session
 #: (world start/end of the recordings) and an RNG, and returns extra
 #: playbacks — concurrent PIANO users (Fig. 2a) or attackers (§V/§VI-E).
+#: Providers are pure data against this window contract, which is what
+#: lets the scenario compiler (``repro.scenarios``) lower declarative
+#: attacker/fleet scripts into :class:`SessionContext` assemblies.
 InterferenceProvider = Callable[
     [float, float, np.random.Generator], list[PlaybackEvent]
 ]

@@ -342,6 +342,35 @@ def test_store_degenerate_window_falls_back_to_prior():
     assert store.sigma("street")[2] == "prior"
 
 
+def test_robust_sigma_zero_mad_uses_sample_std():
+    # Regression: >half the window identical ⇒ MAD = 0, but the window
+    # carries real spread — the old estimator returned 0.0 here, which
+    # pushed a perfectly healthy deployment back onto the paper prior.
+    window = [0.02] * 4 + [0.05]
+    sigma = robust_sigma(window)
+    assert sigma > 0.0
+    assert sigma == pytest.approx(float(np.std(window, ddof=1)))
+    # Genuinely zero-spread windows still report 0 (the store handles
+    # the prior fallback), and a single sample has no spread estimate.
+    assert robust_sigma([0.02] * 5) == 0.0
+    assert robust_sigma([0.02]) == 0.0
+
+
+def test_store_majority_identical_window_stays_measured():
+    # The store must *not* fall back to the prior when the window has
+    # spread that only the MAD discards.
+    store = CalibrationStore(min_samples=4)
+    for error in [0.02] * 4 + [0.05]:
+        store.record("office", error)
+    sigma, samples, source = store.sigma("office")
+    assert source == "measured" and samples == 5
+    assert sigma == pytest.approx(float(np.std([0.02] * 4 + [0.05], ddof=1)))
+    # The §VI-C model gets a usable σ > 0 and therefore a finite τ.
+    summary = store.summary("office")
+    assert summary.sigma_m > 0.0
+    assert summary.threshold_m > 0.0
+
+
 def test_store_unprofiled_environment_uses_office_prior():
     store = CalibrationStore()
     assert store.sigma("quiet_lab")[0] == PAPER_SIGMAS_M["office"]

@@ -72,6 +72,27 @@ def test_percentile_nearest_rank():
     assert _percentile([], 0.5) == 0.0
 
 
+def test_percentile_half_ties_round_up_not_bankers():
+    # Regression: true nearest-rank is ceil(f·n) − 1.  The old
+    # round(f·(n−1)) hit Python's banker's rounding on .5 ties —
+    # round(1.5) == 2 — reporting p50 of 4 samples as the 3rd value.
+    assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+    assert _percentile([1.0, 2.0], 0.5) == 1.0
+    assert _percentile([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 0.5) == 3.0
+    # p25 of 2: ceil(0.5) − 1 = index 0 (round(0.25) would also give 0,
+    # but via a different formula — pin the nearest-rank answer).
+    assert _percentile([1.0, 2.0], 0.25) == 1.0
+
+
+def test_percentile_small_sample_tails():
+    values = [10.0, 20.0, 30.0]
+    # Nearest-rank p99 of a small sample is the max, p1 the min.
+    assert _percentile(values, 0.99) == 30.0
+    assert _percentile(values, 0.01) == 10.0
+    assert _percentile(values, 1.0 / 3.0) == 10.0
+    assert _percentile(values, 2.0 / 3.0) == 20.0
+
+
 # ----------------------------------------------------------------------
 # Coordinated-omission safety
 # ----------------------------------------------------------------------
@@ -226,3 +247,39 @@ def test_request_mix_from_corpus_rejects_unservable_corpora(tmp_path):
     record_cell_spec(mini, corpus)
     with pytest.raises(ValueError, match="no servable entries"):
         request_mix_from_corpus(str(tmp_path / "corpus"))
+
+
+# ----------------------------------------------------------------------
+# Scenario-derived mixes
+# ----------------------------------------------------------------------
+
+
+def test_request_mix_from_scenario_serves_servable_cells():
+    from repro.service.loadgen import request_mix_from_scenario
+
+    mix = request_mix_from_scenario("paper-office", rounds=2)
+    assert mix == [
+        {
+            "environment": "office",
+            "distance_m": distance,
+            "seed": 0,
+            "rounds": 2,
+        }
+        for distance in (0.5, 1.0, 1.5, 2.0)
+    ]
+    # Timed scenarios contribute their preset-noise epochs with their
+    # per-epoch derived seeds; the scaled-band epoch is excluded.
+    reauth = request_mix_from_scenario("home-reauth")
+    assert len(reauth) == 7
+    assert len({item["seed"] for item in reauth}) == 7
+    assert all(item["environment"] == "home" for item in reauth)
+    # Mixes feed straight into the cycler.
+    assert RequestCycler(reauth).next()["first_trial"] == 0
+
+
+def test_request_mix_from_scenario_rejects_unservable_scenarios():
+    from repro.scenarios import ScenarioError
+    from repro.service.loadgen import request_mix_from_scenario
+
+    with pytest.raises(ScenarioError, match="no servable cells"):
+        request_mix_from_scenario("home-hidden-command")

@@ -127,6 +127,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--environment/--distance/--seed; see docs/corpus.md)",
     )
     parser.add_argument(
+        "--scenario",
+        metavar="NAME_OR_PATH",
+        default=None,
+        help="derive the request mix from a scenario document (builtin "
+        "name or .toml/.json path): one session identity per servable "
+        "compiled cell, so served traffic computes the scenario's own "
+        "trials (overrides --sessions/--environment/--distance/--seed; "
+        "see docs/scenarios.md)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -143,11 +153,17 @@ def main(argv: list[str] | None = None) -> int:
             attempts=args.retries + 1,
             attempt_timeout_s=args.attempt_timeout,
         )
+    if args.corpus is not None and args.scenario is not None:
+        raise SystemExit("--corpus and --scenario are mutually exclusive")
     mix = None
     if args.corpus is not None:
         from repro.service.loadgen import request_mix_from_corpus
 
         mix = request_mix_from_corpus(args.corpus, rounds=args.rounds)
+    elif args.scenario is not None:
+        from repro.service.loadgen import request_mix_from_scenario
+
+        mix = request_mix_from_scenario(args.scenario, rounds=args.rounds)
     report = asyncio.run(
         run_loadgen(
             args.host,

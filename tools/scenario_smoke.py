@@ -1,0 +1,139 @@
+"""CI smoke: the scenario DSL compiles faithfully and runs end to end.
+
+Checks the contracts ``docs/scenarios.md`` advertises:
+
+1. every builtin scenario validates, compiles, and compiles *the same
+   twice* (fingerprint-deterministic within a process);
+2. every example document under ``examples/scenarios/`` loads, compiles,
+   and survives a dict round-trip;
+3. the builtin paper scenes compile fingerprint-identical to the
+   hand-built Fig. 1 / Fig. 2(a) experiment plans;
+4. one new-workload plan (the hidden-command attack scene) runs end to
+   end through ``repro scenario run`` and reports its cells.
+
+Exits non-zero on the first violated contract.  Fast (< 30 s): the only
+live ranging is the one-cell attack scene at 1 trial.  Run from the
+repo root::
+
+    PYTHONPATH=src python tools/scenario_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.acoustics.environment import FIGURE1_ENVIRONMENTS
+from repro.cli import main as cli_main
+from repro.eval.engine import TrialPlan, TrialSpec
+from repro.eval.trials import concurrent_users_interference
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    compile_scenario,
+    load_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+PAPER_DISTANCES = (0.5, 1.0, 1.5, 2.0)
+
+
+def check(condition: bool, label: str) -> None:
+    if not condition:
+        print(f"FAIL: {label}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {label}")
+
+
+def fingerprints(plan: TrialPlan) -> list[str]:
+    return [spec.fingerprint() for spec in plan.specs]
+
+
+def main() -> int:
+    for name, doc in BUILTIN_SCENARIOS.items():
+        first = compile_scenario(doc)
+        second = compile_scenario(doc)
+        check(
+            fingerprints(first.plan) == fingerprints(second.plan)
+            and len(first.plan) > 0,
+            f"builtin {name} compiles deterministically "
+            f"({len(first.plan)} cells)",
+        )
+
+    examples = sorted(EXAMPLES.glob("*"))
+    check(len(examples) >= 2, f"example documents present ({len(examples)})")
+    for path in examples:
+        doc = load_scenario(path)
+        compiled = compile_scenario(doc)
+        check(
+            scenario_from_dict(scenario_to_dict(doc)) == doc
+            and len(compiled.plan) > 0,
+            f"example {path.name} loads, round-trips, compiles "
+            f"({len(compiled.plan)} cells)",
+        )
+
+    fig1 = TrialPlan(
+        "fig1",
+        [
+            TrialSpec(
+                environment=environment,
+                distance_m=distance,
+                n_trials=10,
+                seed=0,
+                key=f"{environment.name}:{distance}",
+            )
+            for environment in FIGURE1_ENVIRONMENTS
+            for distance in PAPER_DISTANCES
+        ],
+    )
+    compiled_fig1 = TrialPlan.merge(
+        "fig1",
+        [
+            compile_scenario(BUILTIN_SCENARIOS[f"paper-{env.name}"]).plan
+            for env in FIGURE1_ENVIRONMENTS
+        ],
+    )
+    check(
+        fingerprints(compiled_fig1) == fingerprints(fig1),
+        "paper scenes compile fingerprint-identical to the Fig. 1 plan",
+    )
+
+    fig2a = TrialPlan(
+        "fig2a",
+        [
+            TrialSpec(
+                environment="office",
+                distance_m=distance,
+                n_trials=10,
+                seed=0,
+                interference_factory=concurrent_users_interference(
+                    n_other_pairs=2
+                ),
+                key=f"multiuser:{distance}",
+            )
+            for distance in PAPER_DISTANCES
+        ],
+    )
+    check(
+        fingerprints(compile_scenario(BUILTIN_SCENARIOS["paper-multiuser"]).plan)
+        == fingerprints(fig2a),
+        "paper-multiuser compiles fingerprint-identical to the Fig. 2(a) plan",
+    )
+
+    status = cli_main(
+        ["scenario", "validate", *BUILTIN_SCENARIOS, *map(str, examples)]
+    )
+    check(status == 0, "`repro scenario validate` passes every document")
+
+    status = cli_main(
+        ["scenario", "run", "home-hidden-command", "--trials", "1"]
+    )
+    check(status == 0, "`repro scenario run` executes a new workload")
+
+    print("scenario smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
